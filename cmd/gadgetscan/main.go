@@ -1,0 +1,100 @@
+// Command gadgetscan is the Ropper-analog CLI: it scans AK64 module
+// object files (or the built-in driver suite) for ROP gadgets, prints the
+// class distribution and attempts to build an NX-disabling chain — the
+// per-module analysis behind Fig. 10 and Table 2.
+//
+//	gadgetscan -builtin nvme            # scan a built-in driver
+//	gadgetscan -pic -retpoline mod.ako  # scan an encoded object file
+//	gadgetscan -emit nvme.ako -builtin nvme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adelie/internal/attack"
+	"adelie/internal/drivers"
+	"adelie/internal/elfmod"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "scan a built-in driver (dummy, nvme, e1000e, ...)")
+	pic := flag.Bool("pic", true, "build with the PIC model")
+	retpoline := flag.Bool("retpoline", true, "build with retpoline")
+	rerand := flag.Bool("rerand", false, "apply the re-randomization plugin")
+	emit := flag.String("emit", "", "write the built object to this path")
+	verbose := flag.Bool("v", false, "print every gadget")
+	flag.Parse()
+
+	obj, err := loadObject(*builtin, *pic, *retpoline, *rerand, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetscan:", err)
+		os.Exit(1)
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, obj.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gadgetscan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *emit, len(obj.Encode()))
+	}
+
+	fmt.Printf("module %s  pic=%v retpoline=%v rerandomizable=%v  size=%d bytes\n",
+		obj.Name, obj.PIC, obj.Retpoline, obj.Rerandomizable, obj.TotalSize())
+
+	total := attack.Distribution{}
+	var allGadgets []attack.Gadget
+	for _, sec := range obj.Sections {
+		if !sec.Kind.Executable() {
+			continue
+		}
+		gs := attack.Scan(sec.Data, 0x10000)
+		allGadgets = append(allGadgets, gs...)
+		d := attack.Distribute(gs)
+		fmt.Printf("  %-12s %6d bytes  %5d gadgets\n", sec.Kind, len(sec.Data), d.Total())
+		for c, n := range d {
+			total[c] += n
+		}
+	}
+	fmt.Println("gadget classes:")
+	for _, c := range total.Classes() {
+		fmt.Printf("  %-8s %6d\n", c, total[c])
+	}
+	if *verbose {
+		for _, g := range allGadgets {
+			fmt.Println(" ", g)
+		}
+	}
+
+	ch, err := attack.BuildNXChain(allGadgets, 0xFFFF000000000000, [3]uint64{0, 0, 7})
+	if err != nil {
+		fmt.Println("NX-disable chain: NOT constructible —", err)
+		return
+	}
+	fmt.Printf("NX-disable chain: constructible (%v), %d payload words\n", ch.Quality, len(ch.Words))
+	for _, g := range ch.Gadgets {
+		fmt.Println("  uses:", g)
+	}
+}
+
+func loadObject(builtin string, pic, retpoline, rerand bool, args []string) (*elfmod.Object, error) {
+	if builtin != "" {
+		mk, ok := drivers.All()[builtin]
+		if !ok {
+			return nil, fmt.Errorf("unknown built-in driver %q", builtin)
+		}
+		return drivers.Build(mk(), drivers.BuildOpts{
+			PIC: pic, Retpoline: retpoline, Rerand: rerand,
+			StackRerand: rerand, RetEncrypt: rerand,
+		})
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("need exactly one object file or -builtin")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return elfmod.Decode(data)
+}

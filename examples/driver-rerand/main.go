@@ -1,0 +1,86 @@
+// driver-rerand: the paper's deployment scenario in miniature — a server
+// whose NVMe and E1000E drivers are continuously re-randomized while
+// serving I/O, with the artifact's dmesg statistics at the end.
+//
+// This mirrors `modprobe randmod module_names=e1000,nvme rand_period=20`
+// from the artifact appendix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adelie/internal/cpu"
+	"adelie/internal/drivers"
+	"adelie/internal/kernel"
+	"adelie/internal/sim"
+)
+
+func main() {
+	m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: 42, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := drivers.BuildOpts{
+		PIC: true, Retpoline: true, Rerand: true, StackRerand: true, RetEncrypt: true,
+	}
+	for _, d := range []string{"nvme", "e1000e"} {
+		if _, err := m.LoadDriver(d, opts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := m.InitNVMe(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.InitNIC("e1000e"); err != nil {
+		log.Fatal(err)
+	}
+	m.NVMe.Preload(0, []byte("server data"))
+	buf, err := m.K.Kmalloc(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	readVA, _ := m.K.Symbol("nvme_read")
+	xmitVA, _ := m.K.Symbol("e1000e_xmit")
+
+	// A mixed storage+network workload; the simulated run covers a few
+	// milliseconds, so a 500 µs period (tighter than the paper's 1 ms
+	// floor) shows several full re-randomization cycles.
+	var slot uint64
+	res, err := m.Run(sim.RunConfig{
+		Ops: 4000, Workers: 8, RerandPeriodUs: 500,
+		SyscallCycles: 1800, BytesPerOp: 2048,
+	}, func(c *cpu.CPU) (uint64, error) {
+		lat, err := c.Call(readVA, buf, 0, 512)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.Call(xmitVA, buf, 1448, slot); err != nil {
+			return 0, err
+		}
+		slot++
+		return lat, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %.0f ops/s, %.1f MB/s, CPU %.2f%% across 20 cores\n",
+		res.OpsPerSec, res.MBPerSec, res.CPUUsagePct)
+	fmt.Printf("re-randomizer: %d passes, %.4f%% of one core\n",
+		res.RerandSteps,
+		float64(res.RerandCycles)/(res.ElapsedSec*sim.CPUHz)*100)
+
+	m.K.SMR.Flush()
+	m.R.LogDmesg()
+	fmt.Println("\n$ dmesg")
+	for _, l := range m.K.Dmesg() {
+		fmt.Println(" ", l)
+	}
+	for _, name := range []string{"nvme", "e1000e"} {
+		mod := m.Module(name)
+		fmt.Printf("%-7s moved %d times; now at %#x; %d pages remapped, %d GOT entries slid\n",
+			name, mod.Rerandomizations, mod.Base(), mod.PagesRemapped, mod.GotEntriesMoved)
+	}
+}

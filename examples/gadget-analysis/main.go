@@ -1,0 +1,69 @@
+// gadget-analysis: the Fig. 10 / Table 2 pipeline on the real driver
+// suite — scan every driver in all build configurations, print the gadget
+// class distribution, and show how the plugin's movable/immovable split
+// concentrates gadgets in the part that re-randomization keeps moving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adelie/internal/attack"
+	"adelie/internal/drivers"
+	"adelie/internal/elfmod"
+)
+
+func main() {
+	names := make([]string, 0)
+	for n := range drivers.All() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-8s %22s %22s %14s\n", "driver", "non-PIC gadgets", "PIC movable/immovable", "NX chain?")
+	for _, name := range names {
+		mk := drivers.All()[name]
+		plain, err := drivers.Build(mk(), drivers.BuildOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := drivers.Build(mk(), drivers.BuildOpts{
+			PIC: true, Retpoline: true, Rerand: true, StackRerand: true, RetEncrypt: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plainG := scanKind(plain, elfmod.SecText) + scanKind(plain, elfmod.SecFixedText)
+		mov := scanKind(rr, elfmod.SecText)
+		imm := scanKind(rr, elfmod.SecFixedText)
+		chain := "no"
+		if q := classify(rr); q != attack.NoChain {
+			chain = q.String()
+		}
+		fmt.Printf("%-8s %22d %15d/%6d %14s\n", name, plainG, mov, imm, chain)
+	}
+
+	fmt.Println("\nNote: wrappers (.fixed.text) hold almost no gadgets — the movable")
+	fmt.Println("part carries them, and it is exactly the part that never stops moving.")
+}
+
+func scanKind(obj *elfmod.Object, kind elfmod.SectionKind) int {
+	total := 0
+	for _, sec := range obj.Sections {
+		if sec.Kind == kind {
+			total += len(attack.Scan(sec.Data, 0x10000))
+		}
+	}
+	return total
+}
+
+func classify(obj *elfmod.Object) attack.ChainQuality {
+	var code []byte
+	for _, sec := range obj.Sections {
+		if sec.Kind.Executable() {
+			code = append(code, sec.Data...)
+		}
+	}
+	return attack.ClassifyModule(code, 0x10000)
+}

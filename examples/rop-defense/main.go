@@ -1,0 +1,106 @@
+// rop-defense: runs the full JIT-ROP kill chain against a vulnerable
+// driver twice — once on a static (vanilla) kernel where it succeeds, and
+// once under Adelie's continuous re-randomization where the harvested
+// gadget addresses go stale before the payload fires (paper §6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adelie/internal/attack"
+	"adelie/internal/cpu"
+	"adelie/internal/drivers"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+)
+
+// vulnerableDriver has the pop-rich epilogue texture of buffer-handling
+// code — gadget raw material.
+func vulnerableDriver() *kcc.Module {
+	m := &kcc.Module{Name: "vuln"}
+	m.AddFunc("vuln_ioctl", true,
+		kcc.Push(isa.RDX),
+		kcc.Push(isa.RSI),
+		kcc.Push(isa.RDI),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Pop(isa.RDI),
+		kcc.Pop(isa.RSI),
+		kcc.Pop(isa.RDX),
+		kcc.Ret(),
+	)
+	return m
+}
+
+func bootKernel(pwned *uint64) (*kernel.Kernel, error) {
+	k, err := kernel.New(kernel.Config{NumCPUs: 4, Seed: 3, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		return nil, err
+	}
+	// The attacker's goal: divert control here with chosen arguments
+	// (think set_memory_x disabling NX on an attacker page).
+	k.DefineNative("set_memory_x", 100, func(c *cpu.CPU) error {
+		*pwned = c.Regs[isa.RDI]
+		return nil
+	})
+	return k, nil
+}
+
+func main() {
+	fmt.Println("=== Attack 1: vanilla module, no re-randomization ===")
+	var pwned1 uint64
+	k1, err := bootKernel(&pwned1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj1, err := kcc.Compile(vulnerableDriver(), kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod1, err := k1.Load(obj1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out1 := attack.SimulateJITROP(k1, mod1, attack.DefaultJITROP, 0, nil)
+	fmt.Printf("  pages disclosed: %d, gadgets found: %d, elapsed ≈ %.1f ms\n",
+		out1.PagesRead, out1.GadgetsFound, out1.ElapsedMicros/1000)
+	fmt.Printf("  outcome: success=%v (%s)\n", out1.Succeeded, out1.Reason)
+	if out1.Succeeded {
+		fmt.Printf("  set_memory_x ran with attacker-controlled rdi=%#x — kernel compromised\n", pwned1)
+	}
+
+	fmt.Println("\n=== Attack 2: same driver, Adelie re-randomization at 5 ms ===")
+	var pwned2 uint64
+	k2, err := bootKernel(&pwned2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj2, err := drivers.Build(vulnerableDriver(), drivers.BuildOpts{PIC: true, Rerand: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod2, err := k2.Load(obj2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out2 := attack.SimulateJITROP(k2, mod2, attack.DefaultJITROP, 5_000, func() error {
+		if _, err := mod2.Rerandomize(); err != nil {
+			return err
+		}
+		k2.SMR.Flush()
+		return nil
+	})
+	fmt.Printf("  pages disclosed: %d, gadgets found: %d, elapsed ≈ %.1f ms (period: 5 ms)\n",
+		out2.PagesRead, out2.GadgetsFound, out2.ElapsedMicros/1000)
+	fmt.Printf("  outcome: success=%v (%s)\n", out2.Succeeded, out2.Reason)
+	if pwned2 == 0 && !out2.Succeeded {
+		fmt.Println("  the module moved mid-attack; the payload hit unmapped addresses")
+	}
+
+	fmt.Println("\n=== Entropy: why brute force fails too (§6) ===")
+	fmt.Printf("  vanilla KASLR guess probability: 2^-19 = %.2g\n",
+		attack.GuessProbability(attack.VanillaWindowBits))
+	fmt.Printf("  Adelie 64-bit KASLR:             2^-44 = %.2g\n",
+		attack.GuessProbability(attack.Full64WindowBits))
+}

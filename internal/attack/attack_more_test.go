@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+	"adelie/internal/mm"
+)
+
+func TestGadgetString(t *testing.T) {
+	gs := Scan(asmJoin([][]byte{popRDI(), ret()}), 0x1000)
+	if len(gs) == 0 {
+		t.Fatal("no gadget")
+	}
+	s := gs[0].String()
+	if !strings.Contains(s, "0x1000") || !strings.Contains(s, "pop") || !strings.Contains(s, "ret") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestScanMappedReadsThroughAddressSpace(t *testing.T) {
+	k, err := kernel.New(kernel.Config{NumCPUs: 1, Seed: 3, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := kcc.Compile(vulnerableDriver(), kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := ScanMapped(k.AS, mod.Base(), mod.Movable.Pages*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) == 0 {
+		t.Fatal("no gadgets through the mapped view")
+	}
+	// Unmapped region errors rather than returning junk.
+	if _, err := ScanMapped(k.AS, mm.KernelBase+0x123456000, 4096); err == nil {
+		t.Fatal("scan of unmapped range should fail")
+	}
+}
+
+func TestExecuteChainFaultsOnBadGadget(t *testing.T) {
+	k, _ := attackKernelBare(t)
+	chain := Chain{Words: []uint64{mm.KernelBase + 0xDEAD000, 0}} // unmapped
+	if err := ExecuteChain(k, chain); err == nil {
+		t.Fatal("chain into unmapped memory should fault")
+	}
+}
+
+func TestExecuteChainIntoNXData(t *testing.T) {
+	k, _ := attackKernelBare(t)
+	// Map a data page and point the chain at it: NX must stop execution —
+	// the reason attackers need code reuse at all (§2.1).
+	va := mm.KernelBase + 0x5000_0000
+	if _, err := k.AS.MapRegion(va, 1, mm.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExecuteChain(k, Chain{Words: []uint64{va}}); err == nil {
+		t.Fatal("chain into NX data should fault")
+	}
+}
+
+func attackKernelBare(t *testing.T) (*kernel.Kernel, *uint64) {
+	t.Helper()
+	return attackKernel(t)
+}
+
+func TestJITROPConfigTotal(t *testing.T) {
+	c := JITROPConfig{LeakMicros: 10, PageReadMicros: 2, AnalyzeMicros: 3, TriggerMicros: 5}
+	if got := c.TotalMicros(4); got != 10+4*(2+3)+5 {
+		t.Fatalf("TotalMicros = %f", got)
+	}
+}
+
+func TestDistributionClassesSorted(t *testing.T) {
+	d := Distribution{ClassPop: 1, ClassArith: 2, ClassMov: 3}
+	cs := d.Classes()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("classes not sorted: %v", cs)
+		}
+	}
+}
+
+func TestChainQualityStrings(t *testing.T) {
+	for q, want := range map[ChainQuality]string{
+		ChainClean:          "no side-effect",
+		ChainWithSideEffect: "with side-effect",
+		NoChain:             "without",
+	} {
+		if !strings.Contains(strings.ToLower(q.String()), want) {
+			t.Errorf("%d.String() = %q", q, q.String())
+		}
+	}
+}
+
+func TestBuildNXChainExtraPopsGetJunk(t *testing.T) {
+	// pop rdi; pop rbx; ret — the extra pop consumes one junk slot.
+	code := asmJoin([][]byte{
+		popRDI(), popReg(3 /*rbx*/), ret(),
+		popReg(6 /*rsi*/), ret(),
+		popReg(2 /*rdx*/), ret(),
+	})
+	ch, err := BuildNXChain(Scan(code, 0), 0x42, [3]uint64{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rdi gadget contributes [va, 7, junk]; others [va, v]; plus target.
+	if len(ch.Words) != 8 {
+		t.Fatalf("payload = %v (len %d), want 8 words", ch.Words, len(ch.Words))
+	}
+	if ch.Quality != ChainClean {
+		t.Fatalf("extra pops are clean, got %v", ch.Quality)
+	}
+}
+
+// tiny encode helpers (raw AK64 bytes)
+
+func popRDI() []byte       { return popReg(7) }
+func popReg(r byte) []byte { return []byte{0x58, r} }
+func ret() []byte          { return []byte{0xC3} }
+
+func asmJoin(parts [][]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adelie/internal/cpu"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+	"adelie/internal/plugin"
+)
+
+func asm(insts ...isa.Inst) []byte {
+	var b []byte
+	for _, in := range insts {
+		b = in.Append(b)
+	}
+	return b
+}
+
+func TestScanFindsAlignedGadget(t *testing.T) {
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI},
+		isa.Inst{Op: isa.OpRET},
+	)
+	gs := Scan(code, 0x1000)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets found")
+	}
+	found := false
+	for _, g := range gs {
+		if g.VA == 0x1000 && g.Class == ClassPop && g.EndsIn == isa.OpRET {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pop rdi; ret not found: %v", gs)
+	}
+}
+
+func TestScanFindsMisalignedGadget(t *testing.T) {
+	// A movabs whose immediate bytes contain pop rsi; ret — invisible at
+	// instruction granularity, harvestable by a byte-level scan.
+	imm := int64(0)
+	payload := []byte{byte(isa.OpPOP), byte(isa.RSI), byte(isa.OpRET), 0x90, 0x90, 0x90, 0x90, 0x90}
+	for i := 7; i >= 0; i-- {
+		imm = imm<<8 | int64(payload[i])
+	}
+	code := asm(
+		isa.Inst{Op: isa.OpMOVABS, R1: isa.RAX, Imm: imm},
+		isa.Inst{Op: isa.OpRET},
+	)
+	gs := Scan(code, 0)
+	found := false
+	for _, g := range gs {
+		if g.VA == 2 && g.Insts[0].Op == isa.OpPOP && g.Insts[0].R1 == isa.RSI {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("misaligned pop rsi; ret not discovered")
+	}
+}
+
+func TestScanSkipsBrokenSequences(t *testing.T) {
+	// A direct branch before the ret breaks the chain.
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI},
+		isa.Inst{Op: isa.OpJMP, Disp: 4},
+		isa.Inst{Op: isa.OpRET},
+	)
+	for _, g := range Scan(code, 0) {
+		if g.VA == 0 {
+			t.Fatalf("gadget across a direct branch: %v", g)
+		}
+	}
+}
+
+func TestScanQuickNeverPanics(t *testing.T) {
+	f := func(code []byte) bool {
+		gs := Scan(code, 0x4000)
+		for _, g := range gs {
+			if len(g.Insts) == 0 || len(g.Insts) > MaxGadgetInsts {
+				return false
+			}
+			last := g.Insts[len(g.Insts)-1].Op
+			if last != isa.OpRET && last != isa.OpJMPR && last != isa.OpCALLR {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		insts []isa.Inst
+		want  GadgetClass
+	}{
+		{[]isa.Inst{{Op: isa.OpPOP, R1: isa.RAX}, {Op: isa.OpRET}}, ClassPop},
+		{[]isa.Inst{{Op: isa.OpMOV, R1: isa.RAX, R2: isa.RBX}, {Op: isa.OpRET}}, ClassMov},
+		{[]isa.Inst{{Op: isa.OpADD, R1: isa.RAX, R2: isa.RBX}, {Op: isa.OpRET}}, ClassArith},
+		{[]isa.Inst{{Op: isa.OpXOR, R1: isa.RAX, R2: isa.RBX}, {Op: isa.OpRET}}, ClassLogic},
+		{[]isa.Inst{{Op: isa.OpLOAD, R1: isa.RAX, R2: isa.RBX}, {Op: isa.OpRET}}, ClassMemory},
+		{[]isa.Inst{{Op: isa.OpNOP}, {Op: isa.OpJMPR, R1: isa.RAX}}, ClassControl},
+	}
+	for _, c := range cases {
+		code := asm(c.insts...)
+		gs := Scan(code, 0)
+		if len(gs) == 0 {
+			t.Fatalf("no gadget for %v", c.insts)
+		}
+		if gs[0].Class != c.want {
+			t.Errorf("class = %v, want %v (%v)", gs[0].Class, c.want, gs[0])
+		}
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI}, isa.Inst{Op: isa.OpRET},
+		isa.Inst{Op: isa.OpMOV, R1: isa.RAX, R2: isa.RBX}, isa.Inst{Op: isa.OpRET},
+	)
+	d := Distribute(Scan(code, 0))
+	if d.Total() == 0 || d[ClassPop] == 0 {
+		t.Fatalf("distribution wrong: %v", d)
+	}
+}
+
+func TestBuildNXChain(t *testing.T) {
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI}, isa.Inst{Op: isa.OpRET},
+		isa.Inst{Op: isa.OpPOP, R1: isa.RSI}, isa.Inst{Op: isa.OpRET},
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDX}, isa.Inst{Op: isa.OpRET},
+	)
+	gs := Scan(code, 0x7000)
+	ch, err := BuildNXChain(gs, 0xAABB, [3]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Quality != ChainClean {
+		t.Fatalf("quality = %v, want clean", ch.Quality)
+	}
+	if len(ch.Words) != 7 || ch.Words[len(ch.Words)-1] != 0xAABB {
+		t.Fatalf("payload = %#v", ch.Words)
+	}
+}
+
+func TestBuildNXChainSideEffect(t *testing.T) {
+	// pop rdi is only available with a store in between → dirty chain.
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI},
+		isa.Inst{Op: isa.OpSTORE, R1: isa.RAX, R2: isa.RBX},
+		isa.Inst{Op: isa.OpRET},
+		isa.Inst{Op: isa.OpPOP, R1: isa.RSI}, isa.Inst{Op: isa.OpRET},
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDX}, isa.Inst{Op: isa.OpRET},
+	)
+	ch, err := BuildNXChain(Scan(code, 0), 0x1, [3]uint64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Quality != ChainWithSideEffect {
+		t.Fatalf("quality = %v, want side-effect", ch.Quality)
+	}
+}
+
+func TestBuildNXChainMissingGadget(t *testing.T) {
+	code := asm(
+		isa.Inst{Op: isa.OpPOP, R1: isa.RDI}, isa.Inst{Op: isa.OpRET},
+	)
+	if _, err := BuildNXChain(Scan(code, 0), 0x1, [3]uint64{0, 0, 0}); err == nil {
+		t.Fatal("chain built without pop rsi/rdx")
+	}
+}
+
+// vulnerableDriver deliberately contains pop rdi/rsi/rdx; ret sequences —
+// the texture a buffer-handling driver exposes.
+func vulnerableDriver() *kcc.Module {
+	m := &kcc.Module{Name: "vuln"}
+	m.AddFunc("vuln_ioctl", true,
+		kcc.Push(isa.RDX),
+		kcc.Push(isa.RSI),
+		kcc.Push(isa.RDI),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Pop(isa.RDI),
+		kcc.Pop(isa.RSI),
+		kcc.Pop(isa.RDX),
+		kcc.Ret(),
+	)
+	return m
+}
+
+func attackKernel(t *testing.T) (*kernel.Kernel, *uint64) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{NumCPUs: 2, Seed: 7, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwned := new(uint64)
+	k.DefineNative("set_memory_x", 100, func(c *cpu.CPU) error {
+		*pwned = c.Regs[isa.RDI] // attacker-controlled argument
+		return nil
+	})
+	return k, pwned
+}
+
+func TestExecuteChainAgainstStaticModule(t *testing.T) {
+	// Against a non-rerandomized module the full kill chain works: scan,
+	// build, fire — and the "NX-disable" target runs with attacker args.
+	k, pwned := attackKernel(t)
+	obj, err := kcc.Compile(vulnerableDriver(), kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SimulateJITROP(k, mod, DefaultJITROP, 0, nil)
+	if !out.Succeeded {
+		t.Fatalf("attack on static module failed: %s", out.Reason)
+	}
+	if *pwned != mod.Base() {
+		t.Fatalf("target ran with rdi=%#x, want module base %#x", *pwned, mod.Base())
+	}
+}
+
+func TestRetEncryptionStarvesGadgets(t *testing.T) {
+	// A pleasant side effect of the Fig.-3b epilogue: the injected
+	// key-load/xor sequence pushes the pop-run away from the ret, so the
+	// clean pop-chain the plain build exposes disappears.
+	plain, err := kcc.Compile(vulnerableDriver(), kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := plugin.Build(vulnerableDriver(), plugin.Options{RetEncrypt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainCode, encCode []byte
+	for _, s := range plain.Sections {
+		if s.Kind.Executable() {
+			plainCode = append(plainCode, s.Data...)
+		}
+	}
+	for _, s := range enc.Sections {
+		if s.Kind.Executable() {
+			encCode = append(encCode, s.Data...)
+		}
+	}
+	if q := ClassifyModule(plainCode, 0x10000); q == NoChain {
+		t.Fatal("plain build should expose a chain")
+	}
+	if q := ClassifyModule(encCode, 0x10000); q != NoChain {
+		t.Fatalf("encrypted build still exposes a chain (%v)", q)
+	}
+}
+
+func TestJITROPDefeatedByRerandomization(t *testing.T) {
+	k, pwned := attackKernel(t)
+	obj, err := plugin.Build(vulnerableDriver(), plugin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doRerand := func() error {
+		if _, err := mod.Rerandomize(); err != nil {
+			return err
+		}
+		k.SMR.Flush() // no pending calls: old range unmaps immediately
+		return nil
+	}
+	// 5 ms period: far below the ~60 ms attack time.
+	out := SimulateJITROP(k, mod, DefaultJITROP, 5_000, doRerand)
+	if out.Succeeded {
+		t.Fatal("attack succeeded despite re-randomization")
+	}
+	if *pwned != 0 {
+		t.Fatal("target executed with attacker data")
+	}
+	// A (hypothetical) attacker faster than the period still wins — the
+	// defense is the race, which is the paper's point about intervals.
+	fast := JITROPConfig{LeakMicros: 1, PageReadMicros: 1, AnalyzeMicros: 1, TriggerMicros: 1}
+	out = SimulateJITROP(k, mod, fast, 5_000_000, doRerand)
+	if !out.Succeeded {
+		t.Fatalf("sub-period attack should succeed: %s", out.Reason)
+	}
+}
+
+func TestEntropyNumbers(t *testing.T) {
+	// §6: vanilla 2^-19, Adelie 2^-44.
+	if p := GuessProbability(VanillaWindowBits); p != 1.0/(1<<19) {
+		t.Fatalf("vanilla probability = %g", p)
+	}
+	if p := GuessProbability(Full64WindowBits); p != 1.0/(1<<44) {
+		t.Fatalf("full64 probability = %g", p)
+	}
+	if ExpectedAttempts(VanillaWindowBits) != 1<<19 {
+		t.Fatal("expected attempts wrong")
+	}
+}
+
+func TestBruteForceSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Small window: the attacker wins quickly.
+	res := SimulateBruteForce(rng, 0, 1<<20, 1<<16, 1<<13, 1<<20)
+	if !res.Found {
+		t.Fatal("brute force failed on a small window")
+	}
+	// Window scaled like Adelie's: a million probes find nothing.
+	res = SimulateBruteForce(rng, 0, 1<<48, 1<<20, 1<<13, 1_000_000)
+	if res.Found {
+		t.Fatal("brute force should be hopeless in a 48-bit window")
+	}
+}
+
+func TestCorpusChainRate(t *testing.T) {
+	// Table 2's headline: ~80% of modules carry a full NX-disable chain.
+	mods := GenerateCorpus(11, 150, DefaultCorpus)
+	withChain := 0
+	for _, m := range mods {
+		obj, err := kcc.Compile(m, kcc.Options{Model: kcc.ModelPIC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var code []byte
+		for _, sec := range obj.Sections {
+			if sec.Kind.Executable() {
+				code = append(code, sec.Data...)
+			}
+		}
+		if q := ClassifyModule(code, 0x10000); q != NoChain {
+			withChain++
+		}
+	}
+	rate := float64(withChain) / 150
+	if rate < 0.6 || rate > 0.95 {
+		t.Fatalf("chain rate = %.2f, want ≈0.8 (paper Table 2)", rate)
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := GenerateCorpus(5, 10, DefaultCorpus)
+	b := GenerateCorpus(5, 10, DefaultCorpus)
+	for i := range a {
+		oa, err := kcc.Compile(a[i], kcc.Options{Model: kcc.ModelPIC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := kcc.Compile(b[i], kcc.Options{Model: kcc.ModelPIC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(oa.Encode()) != string(ob.Encode()) {
+			t.Fatalf("corpus module %d not deterministic", i)
+		}
+	}
+}
+
+func TestCVEDataShape(t *testing.T) {
+	// Fig. 1's qualitative content: monotone growth, Windows ≥ Linux in
+	// the terminal years.
+	for i := 1; i < len(CVEData); i++ {
+		if CVEData[i].Linux < CVEData[i-1].Linux {
+			t.Fatal("Linux series not monotone")
+		}
+	}
+	last := CVEData[len(CVEData)-1]
+	if last.Windows <= last.Linux {
+		t.Fatal("terminal-year ordering wrong")
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	mods := GenerateCorpus(2, 1, DefaultCorpus)
+	obj, err := kcc.Compile(mods[0], kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var code []byte
+	for _, sec := range obj.Sections {
+		if sec.Kind.Executable() {
+			code = append(code, sec.Data...)
+		}
+	}
+	b.SetBytes(int64(len(code)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Scan(code, 0x10000)
+	}
+}

@@ -1,0 +1,132 @@
+package attack
+
+import (
+	"fmt"
+
+	"adelie/internal/isa"
+)
+
+// ChainQuality classifies a module per Table 2.
+type ChainQuality int
+
+const (
+	// NoChain: the module lacks the gadgets to build an NX-disabling ROP
+	// chain.
+	NoChain ChainQuality = iota
+	// ChainWithSideEffect: a chain exists but its gadgets carry extra
+	// instructions with side effects (memory writes, clobbered state).
+	ChainWithSideEffect
+	// ChainClean: a chain of side-effect-free gadgets exists.
+	ChainClean
+)
+
+func (q ChainQuality) String() string {
+	switch q {
+	case ChainClean:
+		return "with ROP chain, no side-effect"
+	case ChainWithSideEffect:
+		return "with ROP chain, with side-effect"
+	}
+	return "without ROP chain"
+}
+
+// Chain is a concrete ROP payload: the stack words an attacker would
+// write past an overflowed buffer. Executing it loads the three argument
+// registers and transfers control to the target (e.g. a set_memory_x-like
+// kernel function that disables NX on a chosen range — the Table 2
+// scenario).
+type Chain struct {
+	Quality ChainQuality
+	Gadgets []Gadget
+	// Words is the payload laid on the stack: alternating gadget
+	// addresses and popped values, ending with the target address.
+	Words []uint64
+}
+
+// popTargets are the argument registers an NX-disable call needs loaded
+// (addr, len, perms → rdi, rsi, rdx).
+var popTargets = []isa.Reg{isa.RDI, isa.RSI, isa.RDX}
+
+// BuildNXChain attempts to construct the Table-2 chain from a gadget
+// catalog: pop rdi / pop rsi / pop rdx gadgets followed by a jump to
+// target with the given argument values.
+func BuildNXChain(gs []Gadget, target uint64, args [3]uint64) (Chain, error) {
+	type candidate struct {
+		g     Gadget
+		clean bool
+		pops  int // stack slots consumed before ours matters
+	}
+	best := map[isa.Reg]*candidate{}
+	for _, g := range gs {
+		if g.EndsIn != isa.OpRET {
+			continue // JOP chaining needs controlled registers we lack here
+		}
+		// Find a gadget whose FIRST instruction pops the wanted register
+		// and whose remaining instructions are harmless.
+		first := g.Insts[0]
+		if first.Op != isa.OpPOP {
+			continue
+		}
+		reg := first.R1
+		wanted := false
+		for _, r := range popTargets {
+			if r == reg {
+				wanted = true
+			}
+		}
+		if !wanted {
+			continue
+		}
+		clean := true
+		extraPops := 0
+		for _, in := range g.Insts[1 : len(g.Insts)-1] {
+			switch in.Op {
+			case isa.OpNOP:
+			case isa.OpPOP:
+				extraPops++ // consumes a junk slot but is side-effect free
+			case isa.OpSTORE, isa.OpSTRIP, isa.OpXORM, isa.OpCALLR, isa.OpCALLM:
+				clean = false
+			default:
+				// Register-only effects: tolerable but dirty if they
+				// clobber an already-loaded argument register.
+				if in.R1 == isa.RDI || in.R1 == isa.RSI || in.R1 == isa.RDX {
+					clean = false
+				}
+			}
+		}
+		cur := best[reg]
+		cand := &candidate{g: g, clean: clean, pops: extraPops}
+		if cur == nil || (!cur.clean && clean) || (cur.clean == clean && cand.pops < cur.pops) {
+			best[reg] = cand
+		}
+	}
+
+	var chain Chain
+	chain.Quality = ChainClean
+	for i, reg := range popTargets {
+		c, ok := best[reg]
+		if !ok {
+			return Chain{Quality: NoChain}, fmt.Errorf("attack: no pop-%s gadget", reg)
+		}
+		if !c.clean {
+			chain.Quality = ChainWithSideEffect
+		}
+		chain.Gadgets = append(chain.Gadgets, c.g)
+		chain.Words = append(chain.Words, c.g.VA, args[i])
+		for j := 0; j < c.pops; j++ {
+			chain.Words = append(chain.Words, 0xDEAD) // junk for extra pops
+		}
+	}
+	chain.Words = append(chain.Words, target)
+	return chain, nil
+}
+
+// ClassifyModule runs the Table-2 classification for one module's
+// executable bytes.
+func ClassifyModule(code []byte, base uint64) ChainQuality {
+	ch, err := BuildNXChain(Scan(code, base), 0x1000, [3]uint64{0, 0, 0})
+	if err != nil {
+		return NoChain
+	}
+	return ch.Quality
+}

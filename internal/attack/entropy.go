@@ -1,0 +1,59 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"adelie/internal/mm"
+)
+
+// Entropy analysis of §6 ("Traditional ROP"). An attacker injecting an
+// absolute gadget address must guess it; the success probability per
+// attempt is determined by the KASLR placement window and page alignment.
+
+// Paper window widths: vanilla Linux KASLR confines modules to a 31-bit
+// region; Adelie's PIC model uses the full kernel half of the 57-bit
+// space (56 bits).
+const (
+	VanillaWindowBits = 31
+	Full64WindowBits  = 56
+	pageBits          = 12
+)
+
+// GuessProbability returns the per-attempt probability of guessing a
+// page-aligned module address inside a window of the given width:
+// 2^-(bits-12). For the paper's numbers: vanilla → 2^-19, Adelie → 2^-44.
+func GuessProbability(windowBits int) float64 {
+	return math.Pow(2, -float64(windowBits-pageBits))
+}
+
+// ExpectedAttempts returns the expected number of brute-force probes
+// before hitting a target page.
+func ExpectedAttempts(windowBits int) float64 {
+	return 1 / GuessProbability(windowBits)
+}
+
+// BruteForceResult is one simulated brute-force campaign.
+type BruteForceResult struct {
+	Found    bool
+	Attempts int
+}
+
+// SimulateBruteForce models the §1-footnote attack: the attacker fires
+// page-aligned guesses uniformly inside [lo,hi) until one lands inside the
+// target region [targetBase, targetBase+targetSize) or the budget runs
+// out. Each failed kernel-space guess would be an oops — the simulation
+// just counts them.
+func SimulateBruteForce(rng *rand.Rand, lo, hi, targetBase, targetSize uint64, maxAttempts int) BruteForceResult {
+	span := (hi - lo) / mm.PageSize
+	if span == 0 {
+		return BruteForceResult{}
+	}
+	for i := 1; i <= maxAttempts; i++ {
+		guess := lo + (uint64(rng.Int63())%span)*mm.PageSize
+		if guess >= targetBase && guess < targetBase+targetSize {
+			return BruteForceResult{Found: true, Attempts: i}
+		}
+	}
+	return BruteForceResult{Found: false, Attempts: maxAttempts}
+}

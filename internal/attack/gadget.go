@@ -1,0 +1,165 @@
+// Package attack implements the offensive side of the evaluation: a ROP
+// gadget scanner (the Ropper [59] stand-in used for Fig. 10), an NX-
+// disabling chain builder (Table 2), a JIT-ROP attack simulator and the
+// KASLR entropy analysis of §6.
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"adelie/internal/isa"
+	"adelie/internal/mm"
+)
+
+// GadgetClass buckets gadgets by the type of their instructions, matching
+// the Fig. 10 distribution categories.
+type GadgetClass string
+
+const (
+	ClassPop     GadgetClass = "pop"     // register loads from the stack
+	ClassMov     GadgetClass = "mov"     // register moves / immediates
+	ClassArith   GadgetClass = "arith"   // add/sub/mul/div
+	ClassLogic   GadgetClass = "xor"     // xor/and/or logic
+	ClassMemory  GadgetClass = "memory"  // loads/stores
+	ClassControl GadgetClass = "control" // call/jmp-terminated (JOP)
+	ClassOther   GadgetClass = "other"
+)
+
+// Gadget is a decodable instruction sequence ending in a control transfer
+// an attacker can chain (ret, or an indirect call/jmp for JOP).
+type Gadget struct {
+	VA     uint64
+	Insts  []isa.Inst
+	Bytes  int
+	Class  GadgetClass
+	EndsIn isa.Op
+}
+
+// String renders the gadget Ropper-style.
+func (g Gadget) String() string {
+	s := fmt.Sprintf("%#x:", g.VA)
+	pc := g.VA
+	for _, in := range g.Insts {
+		s += " " + in.Disasm(pc) + " ;"
+		pc += uint64(in.Len)
+	}
+	return s
+}
+
+// MaxGadgetInsts is the longest instruction sequence considered a gadget,
+// matching common gadget-finder defaults.
+const MaxGadgetInsts = 5
+
+// Scan finds all gadgets in code (assumed mapped at base), decoding at
+// every byte offset — including misaligned ones, which on a dense
+// variable-length ISA yield unintended instructions (§2.1).
+func Scan(code []byte, base uint64) []Gadget {
+	var out []Gadget
+	for off := 0; off < len(code); off++ {
+		if g, ok := gadgetAt(code, base, off); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// gadgetAt tries to decode a gadget starting at offset off: a run of
+// at most MaxGadgetInsts valid instructions whose last is a chainable
+// control transfer and which contains no earlier control flow.
+func gadgetAt(code []byte, base uint64, off int) (Gadget, bool) {
+	var insts []isa.Inst
+	p := off
+	for len(insts) < MaxGadgetInsts {
+		in, err := isa.Decode(code[p:])
+		if err != nil {
+			return Gadget{}, false
+		}
+		insts = append(insts, in)
+		p += in.Len
+		if in.Op == isa.OpRET || in.Op == isa.OpJMPR || in.Op == isa.OpCALLR {
+			g := Gadget{
+				VA: base + uint64(off), Insts: insts, Bytes: p - off,
+				EndsIn: in.Op,
+			}
+			g.Class = classify(insts)
+			return g, true
+		}
+		if in.Op.IsBranch() || in.Op == isa.OpHLT {
+			// Direct branches and halts break the chain.
+			return Gadget{}, false
+		}
+	}
+	return Gadget{}, false
+}
+
+// classify buckets a gadget by its dominant payload instruction (the
+// first non-terminator wins ties, mirroring how gadget catalogs are
+// normally grouped).
+func classify(insts []isa.Inst) GadgetClass {
+	if len(insts) == 1 {
+		if insts[0].Op == isa.OpRET {
+			return ClassOther // bare ret
+		}
+		return ClassControl
+	}
+	for _, in := range insts[:len(insts)-1] {
+		switch in.Op {
+		case isa.OpPOP:
+			return ClassPop
+		case isa.OpMOV, isa.OpMOVI, isa.OpMOVABS, isa.OpLEARIP:
+			return ClassMov
+		case isa.OpADD, isa.OpSUB, isa.OpIMUL, isa.OpUDIV, isa.OpADDI, isa.OpSUBI, isa.OpSHLI, isa.OpSHRI:
+			return ClassArith
+		case isa.OpXOR, isa.OpXORI, isa.OpAND, isa.OpANDI, isa.OpOR, isa.OpXORM:
+			return ClassLogic
+		case isa.OpLOAD, isa.OpSTORE, isa.OpLDRIP, isa.OpSTRIP:
+			return ClassMemory
+		}
+	}
+	if insts[len(insts)-1].Op != isa.OpRET {
+		return ClassControl
+	}
+	return ClassOther
+}
+
+// Distribution counts gadgets per class — one bar group of Fig. 10.
+type Distribution map[GadgetClass]int
+
+// Total returns the number of gadgets across classes.
+func (d Distribution) Total() int {
+	n := 0
+	for _, v := range d {
+		n += v
+	}
+	return n
+}
+
+// Classes returns the classes in stable order.
+func (d Distribution) Classes() []GadgetClass {
+	out := make([]GadgetClass, 0, len(d))
+	for c := range d {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Distribute classifies a gadget list.
+func Distribute(gs []Gadget) Distribution {
+	d := Distribution{}
+	for _, g := range gs {
+		d[g.Class]++
+	}
+	return d
+}
+
+// ScanMapped scans an executable region through the address space (the
+// attacker's view of loaded code).
+func ScanMapped(as *mm.AddressSpace, base uint64, size int) ([]Gadget, error) {
+	code, err := as.ReadBytes(base, size)
+	if err != nil {
+		return nil, err
+	}
+	return Scan(code, base), nil
+}

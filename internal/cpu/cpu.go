@@ -1,0 +1,447 @@
+// Package cpu interprets AK64 machine code. It is the execution substrate
+// on which loaded modules run: every instruction a driver executes —
+// including the wrapper, stack-swap and return-address-encryption
+// sequences Adelie injects — is fetched through the MMU (honouring NX and
+// write protection), decoded and retired with cycle accounting.
+//
+// Core kernel functions (kmalloc, printk, VFS internals …) are not
+// interpreted: they are native Go functions registered at fixed kernel
+// text addresses. A call or jump that lands on a registered native address
+// invokes the Go function with access to the CPU state and then performs
+// return semantics. This mirrors the paper's split: Adelie re-randomizes
+// and instruments modules, while the core kernel remains ordinary code
+// reached through well-defined entry points.
+package cpu
+
+import (
+	"fmt"
+
+	"adelie/internal/isa"
+	"adelie/internal/mm"
+)
+
+// Cycle cost model. The absolute values are nominal; what matters for the
+// evaluation's shape is that every extra instruction Adelie injects
+// (wrappers, prologues, thunks, GOT loads) costs cycles, and that TLB
+// refills after re-randomization flushes are visible.
+const (
+	CostInst    = 1  // each retired instruction
+	CostTLBMiss = 25 // page-walk on a TLB miss
+	CostMMIO    = 80 // uncached device register access
+)
+
+// HostReturn is the sentinel return address pushed by Call: returning to
+// it ends interpretation. It lies outside the canonical address space, so
+// no mapped code can collide with it.
+const HostReturn = mm.MaxVA | 1
+
+// Native is a kernel function implemented in Go. It may read and write
+// CPU registers and memory; its Cost is charged when called.
+type Native struct {
+	Name string
+	Cost uint64
+	Fn   func(c *CPU) error
+}
+
+// CPU is one virtual CPU.
+type CPU struct {
+	ID   int
+	Regs [isa.NumRegs]uint64
+	RIP  uint64
+
+	// Flags, set by CMP/TEST only (AK64 simplification: ALU operations do
+	// not update flags; compiled code always compares explicitly).
+	ZF bool // equal
+	SF bool // signed less-than outcome of the last compare
+	CF bool // unsigned below outcome of the last compare
+
+	AS  *mm.AddressSpace
+	TLB *mm.TLB
+
+	natives map[uint64]*Native
+
+	Cycles uint64 // cycles consumed
+	Insts  uint64 // instructions retired
+
+	fetchBuf [isa.MaxInstLen]byte
+}
+
+// New returns a CPU executing in the given address space.
+func New(id int, as *mm.AddressSpace) *CPU {
+	return &CPU{ID: id, AS: as, TLB: mm.NewTLB(as), natives: make(map[uint64]*Native)}
+}
+
+// RegisterNative installs a native kernel function at va. The page
+// containing va must be mapped executable by the caller (the kernel image
+// region) so that translation succeeds before dispatch.
+func (c *CPU) RegisterNative(va uint64, n *Native) {
+	c.natives[va] = n
+}
+
+// ShareNatives makes this CPU dispatch to the same native table as other —
+// all vCPUs of a machine see one kernel.
+func (c *CPU) ShareNatives(other *CPU) { c.natives = other.natives }
+
+// SetNatives installs a shared native dispatch table (the kernel's).
+func (c *CPU) SetNatives(m map[uint64]*Native) { c.natives = m }
+
+// NativeTable returns the CPU's native dispatch table.
+func (c *CPU) NativeTable() map[uint64]*Native { return c.natives }
+
+// Fault is an execution error with machine context attached.
+type Fault struct {
+	RIP    uint64
+	CPU    int
+	Reason string
+	Err    error
+}
+
+func (f *Fault) Error() string {
+	if f.Err != nil {
+		return fmt.Sprintf("cpu%d fault at rip=%#x: %s: %v", f.CPU, f.RIP, f.Reason, f.Err)
+	}
+	return fmt.Sprintf("cpu%d fault at rip=%#x: %s", f.CPU, f.RIP, f.Reason)
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+func (c *CPU) fault(reason string, err error) error {
+	return &Fault{RIP: c.RIP, CPU: c.ID, Reason: reason, Err: err}
+}
+
+// load64 reads a 64-bit value through the TLB with cycle accounting.
+func (c *CPU) load64(va uint64) (uint64, error) {
+	_, flags, hit, err := c.TLB.Translate(va, mm.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	if !hit {
+		c.Cycles += CostTLBMiss
+	}
+	if flags&mm.FlagMMIO != 0 {
+		c.Cycles += CostMMIO
+	}
+	return c.AS.Read64(va)
+}
+
+// store64 writes a 64-bit value through the TLB with cycle accounting.
+func (c *CPU) store64(va uint64, val uint64) error {
+	_, flags, hit, err := c.TLB.Translate(va, mm.AccessWrite)
+	if err != nil {
+		return err
+	}
+	if !hit {
+		c.Cycles += CostTLBMiss
+	}
+	if flags&mm.FlagMMIO != 0 {
+		c.Cycles += CostMMIO
+	}
+	return c.AS.Write64(va, val)
+}
+
+// Push pushes val onto the stack.
+func (c *CPU) Push(val uint64) error {
+	c.Regs[isa.RSP] -= 8
+	return c.store64(c.Regs[isa.RSP], val)
+}
+
+// Pop pops the top of stack.
+func (c *CPU) Pop() (uint64, error) {
+	v, err := c.load64(c.Regs[isa.RSP])
+	if err != nil {
+		return 0, err
+	}
+	c.Regs[isa.RSP] += 8
+	return v, nil
+}
+
+// fetch decodes the instruction at RIP, enforcing execute permission.
+func (c *CPU) fetch() (isa.Inst, error) {
+	rip := c.RIP
+	_, _, hit, err := c.TLB.Translate(rip, mm.AccessExec)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	if !hit {
+		c.Cycles += CostTLBMiss
+	}
+	// Read as much of the instruction as fits in this page.
+	pageEnd := (rip &^ mm.PageMask) + mm.PageSize
+	n := int(pageEnd - rip)
+	if n > isa.MaxInstLen {
+		n = isa.MaxInstLen
+	}
+	buf := c.fetchBuf[:0]
+	b, err := c.AS.ReadBytes(rip, n)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	buf = append(buf, b...)
+	in, derr := isa.Decode(buf)
+	if derr == isa.ErrTruncated && n < isa.MaxInstLen {
+		// Instruction straddles a page: the next page must be executable.
+		if _, _, _, err := c.TLB.Translate(pageEnd, mm.AccessExec); err != nil {
+			return isa.Inst{}, err
+		}
+		rest, err := c.AS.ReadBytes(pageEnd, isa.MaxInstLen-n)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		buf = append(buf, rest...)
+		in, derr = isa.Decode(buf)
+	}
+	if derr != nil {
+		return isa.Inst{}, derr
+	}
+	return in, nil
+}
+
+// Step executes a single instruction. It returns (halted, error); halted
+// is true after HLT or a return to HostReturn.
+func (c *CPU) Step() (bool, error) {
+	if c.RIP == HostReturn {
+		return true, nil
+	}
+	// Native dispatch: control has landed on a kernel entry point.
+	if n, ok := c.natives[c.RIP]; ok {
+		c.Cycles += n.Cost
+		if err := n.Fn(c); err != nil {
+			return false, c.fault("native "+n.Name, err)
+		}
+		ret, err := c.Pop()
+		if err != nil {
+			return false, c.fault("native return", err)
+		}
+		c.RIP = ret
+		return c.RIP == HostReturn, nil
+	}
+
+	in, err := c.fetch()
+	if err != nil {
+		return false, c.fault("fetch", err)
+	}
+	c.Insts++
+	c.Cycles += CostInst
+	next := c.RIP + uint64(in.Len)
+
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpHLT:
+		c.RIP = next
+		return true, nil
+	case isa.OpRET:
+		v, err := c.Pop()
+		if err != nil {
+			return false, c.fault("ret", err)
+		}
+		c.RIP = v
+		return c.RIP == HostReturn, nil
+
+	case isa.OpPUSH:
+		if err := c.Push(c.Regs[in.R1]); err != nil {
+			return false, c.fault("push", err)
+		}
+	case isa.OpPOP:
+		v, err := c.Pop()
+		if err != nil {
+			return false, c.fault("pop", err)
+		}
+		c.Regs[in.R1] = v
+
+	case isa.OpMOVABS, isa.OpMOVI:
+		c.Regs[in.R1] = uint64(in.Imm)
+	case isa.OpMOV:
+		c.Regs[in.R1] = c.Regs[in.R2]
+	case isa.OpLOAD:
+		v, err := c.load64(c.Regs[in.R2] + uint64(int64(in.Disp)))
+		if err != nil {
+			return false, c.fault("load", err)
+		}
+		c.Regs[in.R1] = v
+	case isa.OpSTORE:
+		if err := c.store64(c.Regs[in.R2]+uint64(int64(in.Disp)), c.Regs[in.R1]); err != nil {
+			return false, c.fault("store", err)
+		}
+	case isa.OpLEARIP:
+		c.Regs[in.R1] = next + uint64(int64(in.Disp))
+	case isa.OpLDRIP:
+		v, err := c.load64(next + uint64(int64(in.Disp)))
+		if err != nil {
+			return false, c.fault("rip-relative load", err)
+		}
+		c.Regs[in.R1] = v
+	case isa.OpSTRIP:
+		if err := c.store64(next+uint64(int64(in.Disp)), c.Regs[in.R1]); err != nil {
+			return false, c.fault("rip-relative store", err)
+		}
+	case isa.OpXORM:
+		va := c.Regs[in.R2] + uint64(int64(in.Disp))
+		v, err := c.load64(va)
+		if err != nil {
+			return false, c.fault("xor-mem load", err)
+		}
+		if err := c.store64(va, v^c.Regs[in.R1]); err != nil {
+			return false, c.fault("xor-mem store", err)
+		}
+
+	case isa.OpADD:
+		c.Regs[in.R1] += c.Regs[in.R2]
+	case isa.OpSUB:
+		c.Regs[in.R1] -= c.Regs[in.R2]
+	case isa.OpXOR:
+		c.Regs[in.R1] ^= c.Regs[in.R2]
+	case isa.OpAND:
+		c.Regs[in.R1] &= c.Regs[in.R2]
+	case isa.OpOR:
+		c.Regs[in.R1] |= c.Regs[in.R2]
+	case isa.OpIMUL:
+		c.Regs[in.R1] *= c.Regs[in.R2]
+	case isa.OpUDIV:
+		if c.Regs[in.R2] == 0 {
+			return false, c.fault("divide by zero", nil)
+		}
+		c.Regs[in.R1] /= c.Regs[in.R2]
+	case isa.OpADDI:
+		c.Regs[in.R1] += uint64(in.Imm)
+	case isa.OpSUBI:
+		c.Regs[in.R1] -= uint64(in.Imm)
+	case isa.OpXORI:
+		c.Regs[in.R1] ^= uint64(in.Imm)
+	case isa.OpANDI:
+		c.Regs[in.R1] &= uint64(in.Imm)
+	case isa.OpSHLI:
+		c.Regs[in.R1] <<= uint64(in.Imm) & 63
+	case isa.OpSHRI:
+		c.Regs[in.R1] >>= uint64(in.Imm) & 63
+
+	case isa.OpCMP:
+		c.setFlags(c.Regs[in.R1], c.Regs[in.R2])
+	case isa.OpCMPI:
+		c.setFlags(c.Regs[in.R1], uint64(in.Imm))
+	case isa.OpTEST:
+		v := c.Regs[in.R1] & c.Regs[in.R2]
+		c.ZF = v == 0
+		c.SF = int64(v) < 0
+		c.CF = false
+
+	case isa.OpCALL:
+		if err := c.Push(next); err != nil {
+			return false, c.fault("call", err)
+		}
+		c.RIP = next + uint64(int64(in.Disp))
+		return false, nil
+	case isa.OpJMP:
+		c.RIP = next + uint64(int64(in.Disp))
+		return false, nil
+	case isa.OpCALLR:
+		if err := c.Push(next); err != nil {
+			return false, c.fault("call", err)
+		}
+		c.RIP = c.Regs[in.R1]
+		return false, nil
+	case isa.OpJMPR:
+		c.RIP = c.Regs[in.R1]
+		return c.RIP == HostReturn, nil
+	case isa.OpCALLM:
+		target, err := c.load64(next + uint64(int64(in.Disp)))
+		if err != nil {
+			return false, c.fault("got-indirect call", err)
+		}
+		if err := c.Push(next); err != nil {
+			return false, c.fault("call", err)
+		}
+		c.RIP = target
+		return false, nil
+	case isa.OpJMPM:
+		target, err := c.load64(next + uint64(int64(in.Disp)))
+		if err != nil {
+			return false, c.fault("got-indirect jmp", err)
+		}
+		c.RIP = target
+		return c.RIP == HostReturn, nil
+
+	case isa.OpJE, isa.OpJNE, isa.OpJL, isa.OpJGE, isa.OpJLE, isa.OpJG, isa.OpJB, isa.OpJAE:
+		if c.cond(in.Op) {
+			c.RIP = next + uint64(int64(in.Disp))
+			return false, nil
+		}
+
+	default:
+		return false, c.fault("unimplemented opcode "+in.Op.Name(), nil)
+	}
+	c.RIP = next
+	return false, nil
+}
+
+func (c *CPU) setFlags(a, b uint64) {
+	c.ZF = a == b
+	c.SF = int64(a) < int64(b)
+	c.CF = a < b
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	switch op {
+	case isa.OpJE:
+		return c.ZF
+	case isa.OpJNE:
+		return !c.ZF
+	case isa.OpJL:
+		return c.SF
+	case isa.OpJGE:
+		return !c.SF
+	case isa.OpJLE:
+		return c.ZF || c.SF
+	case isa.OpJG:
+		return !c.ZF && !c.SF
+	case isa.OpJB:
+		return c.CF
+	case isa.OpJAE:
+		return !c.CF
+	}
+	return false
+}
+
+// DefaultMaxInsts bounds a single Call to catch runaway module code.
+const DefaultMaxInsts = 50_000_000
+
+// Run executes instructions until halt, fault, or the instruction budget
+// is exhausted.
+func (c *CPU) Run(maxInsts uint64) error {
+	start := c.Insts
+	for {
+		halted, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+		if c.Insts-start > maxInsts {
+			return c.fault(fmt.Sprintf("instruction budget (%d) exhausted", maxInsts), nil)
+		}
+	}
+}
+
+// Call invokes the function at va with up to six integer arguments in the
+// SysV argument registers, runs until the function returns, and yields
+// RAX. The current RSP must point at a valid stack. Call nests: native
+// functions may use it to invoke module entry points (kernel → module
+// callbacks).
+func (c *CPU) Call(va uint64, args ...uint64) (uint64, error) {
+	if len(args) > len(isa.ArgRegs) {
+		return 0, fmt.Errorf("cpu: Call with %d args; only %d register args supported", len(args), len(isa.ArgRegs))
+	}
+	for i, a := range args {
+		c.Regs[isa.ArgRegs[i]] = a
+	}
+	savedRIP := c.RIP
+	if err := c.Push(HostReturn); err != nil {
+		return 0, err
+	}
+	c.RIP = va
+	if err := c.Run(DefaultMaxInsts); err != nil {
+		return 0, err
+	}
+	c.RIP = savedRIP
+	return c.Regs[isa.RAX], nil
+}

@@ -1,0 +1,190 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"adelie/internal/isa"
+	"adelie/internal/mm"
+)
+
+func TestRIPRelativeStoreAndLoad(t *testing.T) {
+	// Store then load through rip-relative addressing into the data page.
+	// Layout: strip (6B at 0), ldrip (6B at 6), ret (1B at 12).
+	c := machine(t, nil)
+	dispStore := int32(int64(dataBase) - int64(codeBase+6))
+	dispLoad := int32(int64(dataBase) - int64(codeBase+12))
+	var buf []byte
+	buf = isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: 777}.Append(buf) // 6B
+	buf = isa.Inst{Op: isa.OpSTRIP, R1: isa.RAX, Disp: dispStore - 6}.Append(buf)
+	buf = isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: 0}.Append(buf)
+	buf = isa.Inst{Op: isa.OpLDRIP, R1: isa.RAX, Disp: dispLoad - 12}.Append(buf)
+	_ = dispLoad
+	buf = isa.Inst{Op: isa.OpRET}.Append(buf)
+	// Recompute displacements against actual instruction layout:
+	// movi(6) strip(6) movi(6) ldrip(6) ret(1)
+	buf = buf[:0]
+	buf = isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: 777}.Append(buf)
+	buf = isa.Inst{Op: isa.OpSTRIP, R1: isa.RAX, Disp: int32(int64(dataBase) - int64(codeBase+12))}.Append(buf)
+	buf = isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: 0}.Append(buf)
+	buf = isa.Inst{Op: isa.OpLDRIP, R1: isa.RAX, Disp: int32(int64(dataBase) - int64(codeBase+24))}.Append(buf)
+	buf = isa.Inst{Op: isa.OpRET}.Append(buf)
+	if err := c.AS.WriteBytesForce(codeBase, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c); got != 777 {
+		t.Fatalf("rip-relative store/load = %d, want 777", got)
+	}
+	v, _ := c.AS.Read64(dataBase)
+	if v != 777 {
+		t.Fatalf("memory = %d", v)
+	}
+}
+
+func TestTestInstructionFlags(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 0b1100},
+		{Op: isa.OpMOVI, R1: isa.RBX, Imm: 0b0011},
+		{Op: isa.OpTEST, R1: isa.RAX, R2: isa.RBX}, // 1100 & 0011 = 0 → ZF
+		{Op: isa.OpJE, Disp: 7},
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 0},
+		{Op: isa.OpRET},
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("test/je = %d, want 1", got)
+	}
+}
+
+func TestJMPRegAndJMPMem(t *testing.T) {
+	// jmp *%rax to a trailer that sets rax and returns.
+	c := machine(t, nil)
+	var buf []byte
+	trailer := codeBase + 0x100
+	buf = isa.Inst{Op: isa.OpMOVABS, R1: isa.RAX, Imm: int64(trailer)}.Append(buf)
+	buf = isa.Inst{Op: isa.OpJMPR, R1: isa.RAX}.Append(buf)
+	if err := c.AS.WriteBytesForce(codeBase, buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr []byte
+	tr = isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: 5150}.Append(tr)
+	tr = isa.Inst{Op: isa.OpRET}.Append(tr)
+	if err := c.AS.WriteBytesForce(trailer, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c); got != 5150 {
+		t.Fatalf("jmp reg = %d", got)
+	}
+
+	// jmp *disp(%rip): slot in data page holds the trailer address.
+	c2 := machine(t, nil)
+	if err := c2.AS.Write64(dataBase, trailer); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 []byte
+	buf2 = isa.Inst{Op: isa.OpJMPM, Disp: int32(int64(dataBase) - int64(codeBase+5))}.Append(buf2)
+	if err := c2.AS.WriteBytesForce(codeBase, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AS.WriteBytesForce(trailer, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c2); got != 5150 {
+		t.Fatalf("jmp mem = %d", got)
+	}
+}
+
+func TestInstructionStraddlingPageBoundary(t *testing.T) {
+	// Place a movabs so its 10 bytes straddle two exec pages.
+	c := machine(t, nil)
+	start := codeBase + mm.PageSize - 4
+	var buf []byte
+	buf = isa.Inst{Op: isa.OpMOVABS, R1: isa.RAX, Imm: 0x1234}.Append(buf)
+	buf = isa.Inst{Op: isa.OpRET}.Append(buf)
+	if err := c.AS.WriteBytesForce(start, buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Call(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1234 {
+		t.Fatalf("straddling inst = %#x", v)
+	}
+}
+
+func TestStackOverflowHitsGuard(t *testing.T) {
+	// Recursive calls past the stack bottom must fault (unmapped guard).
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpCALL, Disp: -5}, // call self forever
+	})
+	c.Regs[isa.RSP] = stackTop
+	if err := c.Push(HostReturn); err != nil {
+		t.Fatal(err)
+	}
+	c.RIP = codeBase
+	err := c.Run(100000)
+	if err == nil || !strings.Contains(err.Error(), "page fault") {
+		t.Fatalf("got %v, want stack-guard page fault", err)
+	}
+}
+
+func TestNativeErrorPropagates(t *testing.T) {
+	c := machine(t, nil)
+	va := uint64(codeBase + 0x400)
+	c.RegisterNative(va, &Native{Name: "boom", Cost: 1, Fn: func(c *CPU) error {
+		return &mm.PageFault{VA: 0xdead, Access: mm.AccessRead, Reason: "synthetic"}
+	}})
+	_, err := c.Call(va)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("native error lost: %v", err)
+	}
+}
+
+func TestCallTooManyArgs(t *testing.T) {
+	c := machine(t, []isa.Inst{{Op: isa.OpRET}})
+	if _, err := c.Call(codeBase, 1, 2, 3, 4, 5, 6, 7); err == nil {
+		t.Fatal("7 register args accepted; SysV allows 6")
+	}
+}
+
+func TestMovRegAndShifts(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RBX, Imm: 3},
+		{Op: isa.OpMOV, R1: isa.RAX, R2: isa.RBX},
+		{Op: isa.OpSHLI, R1: isa.RAX, Imm: 63}, // huge shift, masked to 63
+		{Op: isa.OpSHRI, R1: isa.RAX, Imm: 62},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 2 { // 3<<63 = 0x8000..., >>62 = 2
+		t.Fatalf("shift chain = %d, want 2", got)
+	}
+}
+
+func TestFaultUnwrapsPageFault(t *testing.T) {
+	c := machine(t, nil)
+	_, err := c.Call(dataBase) // NX
+	var f *Fault
+	if !asFault(err, &f) {
+		t.Fatalf("not a Fault: %v", err)
+	}
+	if f.Unwrap() == nil {
+		t.Fatal("Fault should wrap the page fault")
+	}
+}
+
+func asFault(err error, target **Fault) bool {
+	for err != nil {
+		if f, ok := err.(*Fault); ok {
+			*target = f
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package devices
+
+import (
+	"sync"
+
+	"adelie/internal/mm"
+)
+
+// NIC is an E1000E-flavoured ring-buffer network adapter. The driver
+// publishes descriptor rings (VA + length + head/tail indexes), rings a
+// doorbell to transmit, and reads received frames out of the RX ring.
+// Frames transmitted on one NIC appear on its peer's RX ring (or loop
+// back), with a 1 GbE wire bandwidth that the simulator accounts as the
+// throughput ceiling Fig. 7/8 observe (~110 MB/s).
+type NIC struct {
+	mu sync.Mutex
+	as *mm.AddressSpace
+
+	txRing, rxRing uint64 // descriptor ring base VAs
+	ringLen        uint64 // descriptors per ring
+	rxTail         uint64 // next RX slot the device fills
+
+	peer *NIC // nil = loopback
+
+	// hostRx captures frames when no RX ring is programmed — the
+	// load-generator side of the wire, consumed by the host harness.
+	hostRx [][]byte
+
+	TxFrames, RxFrames, TxBytes, RxBytes uint64
+	Dropped                              uint64
+}
+
+// WireBytesPerSec is the 1 GbE line rate (≈110 MB/s of goodput, the
+// ceiling visible in the paper's Fig. 7/8 network numbers).
+const WireBytesPerSec = 110e6
+
+// NIC MMIO register map.
+const (
+	NICRegTxRing     = 0x00 // TX descriptor ring base VA
+	NICRegRxRing     = 0x08 // RX descriptor ring base VA
+	NICRegRingLen    = 0x10 // descriptors per ring
+	NICRegTxDoorbell = 0x18 // write: TX slot to send
+	NICRegRxHead     = 0x20 // read: next filled RX slot count
+)
+
+// Descriptor layout (2 words): buffer VA, byte length. A zero length
+// marks a free RX descriptor.
+
+// NewNIC creates an adapter DMA-attached to as.
+func NewNIC(as *mm.AddressSpace) *NIC { return &NIC{as: as} }
+
+// Connect wires two NICs back-to-back (server/load-generator setup of
+// Table 1). A NIC without a peer loops frames back to itself.
+func Connect(a, b *NIC) {
+	a.mu.Lock()
+	a.peer = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.peer = a
+	b.mu.Unlock()
+}
+
+// MMIORead implements mm.MMIOHandler.
+func (n *NIC) MMIORead(off uint64) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch off {
+	case NICRegTxRing:
+		return n.txRing
+	case NICRegRxRing:
+		return n.rxRing
+	case NICRegRingLen:
+		return n.ringLen
+	case NICRegRxHead:
+		return n.rxTail
+	}
+	return 0
+}
+
+// MMIOWrite implements mm.MMIOHandler.
+func (n *NIC) MMIOWrite(off uint64, val uint64) {
+	n.mu.Lock()
+	switch off {
+	case NICRegTxRing:
+		n.txRing = val
+	case NICRegRxRing:
+		n.rxRing = val
+	case NICRegRingLen:
+		n.ringLen = val
+	case NICRegTxDoorbell:
+		n.mu.Unlock()
+		n.transmit(val)
+		return
+	}
+	n.mu.Unlock()
+}
+
+// transmit sends the frame described by TX slot and delivers it to the
+// peer (or loops it back).
+func (n *NIC) transmit(slot uint64) {
+	n.mu.Lock()
+	if n.txRing == 0 || n.ringLen == 0 {
+		n.mu.Unlock()
+		return
+	}
+	desc := n.txRing + (slot%n.ringLen)*16
+	buf, _ := n.as.Read64Force(desc)
+	length, _ := n.as.Read64Force(desc + 8)
+	if length == 0 || length > 1<<16 {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	frame, err := n.as.ReadBytes(buf, int(length))
+	if err != nil {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.TxFrames++
+	n.TxBytes += length
+	dst := n.peer
+	if dst == nil {
+		dst = n
+	}
+	n.mu.Unlock()
+	dst.Deliver(frame)
+}
+
+// Deliver places a frame into the next free RX descriptor — what the wire
+// (or a host-side load generator) does.
+func (n *NIC) Deliver(frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rxRing == 0 || n.ringLen == 0 {
+		// No driver-owned ring: this adapter is host-driven (the load
+		// generator of Table 1); queue the frame for the harness.
+		n.hostRx = append(n.hostRx, frame)
+		n.RxFrames++
+		n.RxBytes += uint64(len(frame))
+		return
+	}
+	desc := n.rxRing + (n.rxTail%n.ringLen)*16
+	buf, _ := n.as.Read64Force(desc)
+	if buf == 0 {
+		n.Dropped++
+		return
+	}
+	if err := n.as.WriteBytesForce(buf, frame); err != nil {
+		n.Dropped++
+		return
+	}
+	_ = n.as.Write64Force(desc+8, uint64(len(frame)))
+	n.rxTail++
+	n.RxFrames++
+	n.RxBytes += uint64(len(frame))
+}
+
+// TakeHostFrames drains the host-side capture queue (load-generator
+// receive path).
+func (n *NIC) TakeHostFrames() [][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.hostRx
+	n.hostRx = nil
+	return out
+}
+
+// XHCI is a minimal USB 3.0 host-controller stand-in: a port status
+// register block the xhci driver polls. It exists so the Fig. 8 workload
+// can re-randomize a USB driver as "extra load", as the paper does.
+type XHCI struct {
+	mu        sync.Mutex
+	Polls     uint64
+	connected bool
+}
+
+// xHCI MMIO register map.
+const (
+	XHCIRegPortStatus = 0x00 // bit 0: device connected
+	XHCIRegControl    = 0x08 // write 1: reset port
+)
+
+// NewXHCI returns a controller with one connected port.
+func NewXHCI() *XHCI { return &XHCI{connected: true} }
+
+// MMIORead implements mm.MMIOHandler.
+func (x *XHCI) MMIORead(off uint64) uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if off == XHCIRegPortStatus {
+		x.Polls++
+		if x.connected {
+			return 1
+		}
+	}
+	return 0
+}
+
+// MMIOWrite implements mm.MMIOHandler.
+func (x *XHCI) MMIOWrite(off uint64, val uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if off == XHCIRegControl && val == 1 {
+		x.connected = true
+	}
+}

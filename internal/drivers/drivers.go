@@ -1,0 +1,320 @@
+// Package drivers contains the device drivers of the evaluation, written
+// in the kcc IR and compiled like any kernel module. The set mirrors the
+// paper's §5 choices: network (E1000E, E1000, ENA), storage (NVMe),
+// USB 3.0 (xHCI), file systems (ext4, FUSE) and the dummy IOCTL driver of
+// the CPU-bound worst-case test (§5.3).
+//
+// Each driver exposes an init entry point that receives its MMIO base
+// (and queue/ring memory where applicable) and data-path entry points the
+// kernel calls per operation. Built with internal/plugin, every exported
+// entry gains an immovable wrapper, stack substitution and return-address
+// encryption — the code paths whose cost the figures measure.
+package drivers
+
+import (
+	"fmt"
+
+	"adelie/internal/devices"
+	"adelie/internal/elfmod"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+	"adelie/internal/plugin"
+)
+
+// BuildOpts selects the build configuration for a driver, spanning the
+// paper's evaluation matrix (vanilla / PIC / PIC+retpoline /
+// re-randomizable with or without stack re-randomization).
+type BuildOpts struct {
+	PIC         bool
+	Retpoline   bool
+	Rerand      bool // plugin transform (implies PIC)
+	StackRerand bool
+	RetEncrypt  bool
+}
+
+// Build compiles a driver module under the given configuration.
+func Build(m *kcc.Module, o BuildOpts) (*elfmod.Object, error) {
+	if o.Rerand {
+		return plugin.Build(m, plugin.Options{
+			Retpoline:   o.Retpoline,
+			StackRerand: o.StackRerand,
+			RetEncrypt:  o.RetEncrypt,
+		})
+	}
+	model := kcc.ModelAbsolute
+	if o.PIC {
+		model = kcc.ModelPIC
+	}
+	return kcc.Compile(m, kcc.Options{Model: model, Retpoline: o.Retpoline})
+}
+
+// Dummy returns the §5.3 dummy driver: a null IOCTL handler executed in a
+// tight loop to expose the worst-case (CPU-bound) overhead of wrappers
+// and stack re-randomization (Fig. 9).
+func Dummy(name string) *kcc.Module {
+	m := &kcc.Module{Name: name}
+	m.AddFunc(name+"_ioctl", true,
+		// Validate the request code and fall through the default arm —
+		// the "null ioctl operation" of §5.3.
+		kcc.MovReg(isa.RAX, isa.RDI),
+		kcc.CmpImm(isa.RAX, 0),
+		kcc.Br(kcc.CondEQ, "ok"),
+		kcc.CmpImm(isa.RAX, 0x5401), // a TCGETS-flavoured request code
+		kcc.Br(kcc.CondEQ, "ok"),
+		kcc.MovImm(isa.RAX, -22), // -EINVAL
+		kcc.Ret(),
+		kcc.Label("ok"),
+		kcc.GlobalLoad(isa.RCX, name+"_count"),
+		kcc.ArithImm(kcc.OpAdd, isa.RCX, 1),
+		kcc.GlobalStore(name+"_count", isa.RCX),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	m.AddGlobal(kcc.Global{Name: name + "_count", Size: 8, Init: make([]byte, 8)})
+	return m
+}
+
+// NVMe returns the storage driver. Entry points:
+//
+//	nvme_init(mmio, sq, cq)      — program controller registers
+//	nvme_read(buf, lba, count)   — synchronous O_DIRECT-style read;
+//	                               returns the device-reported latency
+//	                               in cycles (0 on failure)
+func NVMe() *kcc.Module {
+	m := &kcc.Module{Name: "nvme"}
+	m.AddFunc("nvme_init", true,
+		// args: rdi=mmio, rsi=sq, rdx=cq
+		kcc.GlobalStore("nvme_mmio", isa.RDI),
+		kcc.GlobalStore("nvme_sq", isa.RSI),
+		kcc.GlobalStore("nvme_cq", isa.RDX),
+		// Program the controller.
+		kcc.Store(isa.RDI, devices.NVMeRegSQBase, isa.RSI),
+		kcc.Store(isa.RDI, devices.NVMeRegCQBase, isa.RDX),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	m.AddFunc("nvme_read", true,
+		// args: rdi=buf, rsi=lba, rdx=count
+		kcc.GlobalLoad(isa.RBX, "nvme_sq"),
+		kcc.MovImm(isa.RAX, devices.NVMeCmdRead),
+		kcc.Store(isa.RBX, 0, isa.RAX),
+		kcc.Store(isa.RBX, 8, isa.RSI),
+		kcc.Store(isa.RBX, 16, isa.RDX),
+		kcc.Store(isa.RBX, 24, isa.RDI),
+		// Ring doorbell slot 0.
+		kcc.GlobalLoad(isa.RCX, "nvme_mmio"),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Store(isa.RCX, devices.NVMeRegDoorbell, isa.RAX),
+		// Check the completion.
+		kcc.GlobalLoad(isa.RBX, "nvme_cq"),
+		kcc.Load(isa.RAX, isa.RBX, 0),
+		kcc.CmpImm(isa.RAX, 1),
+		kcc.Br(kcc.CondNE, "fail"),
+		// Clear the CQ entry and fetch the measured latency.
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Store(isa.RBX, 0, isa.RAX),
+		kcc.Load(isa.RAX, isa.RCX, devices.NVMeRegLatency),
+		kcc.Ret(),
+		kcc.Label("fail"),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	for _, g := range []string{"nvme_mmio", "nvme_sq", "nvme_cq"} {
+		m.AddGlobal(kcc.Global{Name: g, Size: 8, Init: make([]byte, 8)})
+	}
+	return m
+}
+
+// nicModule builds a ring-buffer NIC driver under the given prefix; the
+// E1000E, E1000 (VirtualBox) and ENA (AWS) drivers share the shape but
+// are distinct modules, as in the paper's driver list.
+func nicModule(prefix string, extraWork int) *kcc.Module {
+	m := &kcc.Module{Name: prefix}
+	g := func(s string) string { return prefix + "_" + s }
+	m.AddFunc(g("init"), true,
+		// args: rdi=mmio, rsi=txring, rdx=rxring, rcx=ringlen
+		kcc.GlobalStore(g("mmio"), isa.RDI),
+		kcc.GlobalStore(g("tx"), isa.RSI),
+		kcc.GlobalStore(g("rx"), isa.RDX),
+		kcc.GlobalStore(g("len"), isa.RCX),
+		kcc.Store(isa.RDI, devices.NICRegTxRing, isa.RSI),
+		kcc.Store(isa.RDI, devices.NICRegRxRing, isa.RDX),
+		kcc.Store(isa.RDI, devices.NICRegRingLen, isa.RCX),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	// xmit(buf, len, slot): fill the TX descriptor, ring the doorbell.
+	xmit := []kcc.Ins{
+		kcc.GlobalLoad(isa.RBX, g("tx")),
+		kcc.GlobalLoad(isa.RCX, g("len")),
+		// desc = tx + (slot % len)*16; slots are caller-managed and the
+		// ring length is a power of two, so mask instead of dividing.
+		kcc.ArithImm(kcc.OpSub, isa.RCX, 1),
+		kcc.MovReg(isa.RAX, isa.RDX),
+		kcc.Arith(kcc.OpAnd, isa.RAX, isa.RCX),
+		kcc.ArithImm(kcc.OpShl, isa.RAX, 4),
+		kcc.Arith(kcc.OpAdd, isa.RBX, isa.RAX),
+		kcc.Store(isa.RBX, 0, isa.RDI),
+		kcc.Store(isa.RBX, 8, isa.RSI),
+	}
+	// Checksum-like touch of the payload: realistic per-frame CPU work.
+	xmit = append(xmit,
+		kcc.MovImm(isa.RAX, 0),
+		kcc.MovImm(isa.RCX, int64(extraWork)),
+		kcc.Label("csum"),
+		kcc.Load(isa.R12, isa.RDI, 0),
+		kcc.Arith(kcc.OpAdd, isa.RAX, isa.R12),
+		kcc.ArithImm(kcc.OpSub, isa.RCX, 1),
+		kcc.CmpImm(isa.RCX, 0),
+		kcc.Br(kcc.CondNE, "csum"),
+	)
+	xmit = append(xmit,
+		kcc.GlobalLoad(isa.RCX, g("mmio")),
+		kcc.Store(isa.RCX, devices.NICRegTxDoorbell, isa.RDX),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	m.AddFunc(g("xmit"), true, xmit...)
+
+	// poll_rx(slot): return the length of the frame in RX slot, clearing
+	// the descriptor; 0 means empty.
+	m.AddFunc(g("poll_rx"), true,
+		kcc.GlobalLoad(isa.RBX, g("rx")),
+		kcc.GlobalLoad(isa.RCX, g("len")),
+		kcc.ArithImm(kcc.OpSub, isa.RCX, 1),
+		kcc.MovReg(isa.RAX, isa.RDI),
+		kcc.Arith(kcc.OpAnd, isa.RAX, isa.RCX),
+		kcc.ArithImm(kcc.OpShl, isa.RAX, 4),
+		kcc.Arith(kcc.OpAdd, isa.RBX, isa.RAX),
+		kcc.Load(isa.RAX, isa.RBX, 8), // length
+		kcc.MovImm(isa.RCX, 0),
+		kcc.Store(isa.RBX, 8, isa.RCX), // mark consumed
+		kcc.Ret(),
+	)
+	for _, s := range []string{"mmio", "tx", "rx", "len"} {
+		m.AddGlobal(kcc.Global{Name: g(s), Size: 8, Init: make([]byte, 8)})
+	}
+	return m
+}
+
+// E1000E is the server NIC of Table 1.
+func E1000E() *kcc.Module { return nicModule("e1000e", 8) }
+
+// E1000 is the VirtualBox-era variant used in the artifact VMs.
+func E1000() *kcc.Module { return nicModule("e1000", 10) }
+
+// ENA is the AWS adapter the paper re-randomizes in SAVIOR.
+func ENA() *kcc.Module { return nicModule("ena", 6) }
+
+// Ext4Lite is the file-system module on the dd/sysbench path: an
+// extent-mapping get_block plus a per-page read hook.
+//
+//	ext4_get_block(inode, blk) — walk a small extent table mapping file
+//	                             block → LBA (returns LBA)
+func Ext4Lite() *kcc.Module {
+	m := &kcc.Module{Name: "ext4"}
+	// Extent table: 8 extents of (firstBlk, lbaBase) pairs covering 512
+	// blocks each.
+	table := make([]byte, 8*16)
+	for i := 0; i < 8; i++ {
+		first := uint64(i * 512)
+		lba := uint64(0x8000 + i*4096)
+		for j := 0; j < 8; j++ {
+			table[i*16+j] = byte(first >> (8 * j))
+			table[i*16+8+j] = byte(lba >> (8 * j))
+		}
+	}
+	m.AddGlobal(kcc.Global{Name: "ext4_extents", Size: uint64(len(table)), Init: table})
+	m.AddFunc("ext4_get_block", true,
+		// args: rdi=inode (ignored), rsi=file block
+		kcc.Call("cond_resched"), // hot-path kernel helper (PLT under retpoline)
+		kcc.GlobalAddr(isa.RBX, "ext4_extents"),
+		kcc.MovImm(isa.RCX, 8), // extent count
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Label("scan"),
+		kcc.Load(isa.R12, isa.RBX, 0), // first block of extent
+		kcc.Cmp(isa.RSI, isa.R12),
+		kcc.Br(kcc.CondB, "done"), // file block below this extent: prior one wins
+		// lba = extent.lbaBase + (blk - first)
+		kcc.Load(isa.RAX, isa.RBX, 8),
+		kcc.MovReg(isa.R13, isa.RSI),
+		kcc.Arith(kcc.OpSub, isa.R13, isa.R12),
+		kcc.Arith(kcc.OpAdd, isa.RAX, isa.R13),
+		kcc.ArithImm(kcc.OpAdd, isa.RBX, 16),
+		kcc.ArithImm(kcc.OpSub, isa.RCX, 1),
+		kcc.CmpImm(isa.RCX, 0),
+		kcc.Br(kcc.CondNE, "scan"),
+		kcc.Label("done"),
+		kcc.Ret(),
+	)
+	return m
+}
+
+// FuseLite is the user-space-filesystem dispatcher used as extra
+// re-randomization load in Fig. 8.
+func FuseLite() *kcc.Module {
+	m := &kcc.Module{Name: "fuse"}
+	m.AddFunc("fuse_dispatch", true,
+		// args: rdi=opcode. Route a few opcodes, count the rest.
+		kcc.CmpImm(isa.RDI, 1), // LOOKUP
+		kcc.Br(kcc.CondEQ, "hit"),
+		kcc.CmpImm(isa.RDI, 3), // GETATTR
+		kcc.Br(kcc.CondEQ, "hit"),
+		kcc.CmpImm(isa.RDI, 15), // READ
+		kcc.Br(kcc.CondEQ, "hit"),
+		kcc.MovImm(isa.RAX, -38), // -ENOSYS
+		kcc.Ret(),
+		kcc.Label("hit"),
+		kcc.GlobalLoad(isa.RCX, "fuse_reqs"),
+		kcc.ArithImm(kcc.OpAdd, isa.RCX, 1),
+		kcc.GlobalStore("fuse_reqs", isa.RCX),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	m.AddGlobal(kcc.Global{Name: "fuse_reqs", Size: 8, Init: make([]byte, 8)})
+	return m
+}
+
+// XHCI is the USB 3.0 host-controller driver: init + port poll.
+func XHCI() *kcc.Module {
+	m := &kcc.Module{Name: "xhci"}
+	m.AddFunc("xhci_init", true,
+		kcc.GlobalStore("xhci_mmio", isa.RDI),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	m.AddFunc("xhci_poll", true,
+		kcc.GlobalLoad(isa.RBX, "xhci_mmio"),
+		kcc.Load(isa.RAX, isa.RBX, devices.XHCIRegPortStatus),
+		kcc.Ret(),
+	)
+	m.AddGlobal(kcc.Global{Name: "xhci_mmio", Size: 8, Init: make([]byte, 8)})
+	return m
+}
+
+// All returns every driver in the suite, keyed by module name.
+func All() map[string]func() *kcc.Module {
+	return map[string]func() *kcc.Module{
+		"dummy":  func() *kcc.Module { return Dummy("dummy") },
+		"nvme":   NVMe,
+		"e1000e": E1000E,
+		"e1000":  E1000,
+		"ena":    ENA,
+		"ext4":   Ext4Lite,
+		"fuse":   FuseLite,
+		"xhci":   XHCI,
+	}
+}
+
+// BuildAll compiles every driver under the same options.
+func BuildAll(o BuildOpts) (map[string]*elfmod.Object, error) {
+	out := map[string]*elfmod.Object{}
+	for name, mk := range All() {
+		obj, err := Build(mk(), o)
+		if err != nil {
+			return nil, fmt.Errorf("drivers: building %s: %w", name, err)
+		}
+		out[name] = obj
+	}
+	return out, nil
+}

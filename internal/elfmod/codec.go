@@ -1,0 +1,262 @@
+package elfmod
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format:
+//
+//	magic "AK64MOD1" | flags u8 | name | sections | symbols | relocs
+//
+// with varint-style length-prefixed strings and byte slices. The format
+// exists so module objects can be written to disk and inspected by the
+// cmd/gadgetscan tool, and so the loader's input is a byte stream rather
+// than shared Go pointers — the same trust boundary a real .ko crosses.
+
+var magic = []byte("AK64MOD1")
+
+const (
+	flagRerand    = 1 << 0
+	flagPIC       = 1 << 1
+	flagRetpoline = 1 << 2
+)
+
+// Encode serializes the object.
+func (o *Object) Encode() []byte {
+	var b bytes.Buffer
+	b.Write(magic)
+	var flags byte
+	if o.Rerandomizable {
+		flags |= flagRerand
+	}
+	if o.PIC {
+		flags |= flagPIC
+	}
+	if o.Retpoline {
+		flags |= flagRetpoline
+	}
+	b.WriteByte(flags)
+	writeString(&b, o.Name)
+
+	writeUvarint(&b, uint64(len(o.Sections)))
+	for i := range o.Sections {
+		s := &o.Sections[i]
+		b.WriteByte(byte(s.Kind))
+		writeUvarint(&b, s.Size)
+		if s.Kind != SecBSS {
+			writeBytes(&b, s.Data)
+		}
+	}
+
+	writeUvarint(&b, uint64(len(o.Symbols)))
+	for i := range o.Symbols {
+		s := &o.Symbols[i]
+		writeString(&b, s.Name)
+		writeVarint(&b, int64(s.Section))
+		writeUvarint(&b, s.Offset)
+		writeUvarint(&b, s.Size)
+		b.WriteByte(byte(s.Bind))
+		b.WriteByte(byte(s.Kind))
+		if s.Wrapper {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	}
+
+	writeUvarint(&b, uint64(len(o.Relocs)))
+	for _, r := range o.Relocs {
+		writeVarint(&b, int64(r.Section))
+		writeUvarint(&b, r.Offset)
+		b.WriteByte(byte(r.Type))
+		writeVarint(&b, int64(r.Symbol))
+		writeVarint(&b, r.Addend)
+	}
+	return b.Bytes()
+}
+
+// Decode parses an object previously produced by Encode and validates it.
+func Decode(data []byte) (*Object, error) {
+	r := bytes.NewReader(data)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil || !bytes.Equal(hdr, magic) {
+		return nil, fmt.Errorf("elfmod: bad magic")
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("elfmod: truncated flags")
+	}
+	o := &Object{
+		Rerandomizable: flags&flagRerand != 0,
+		PIC:            flags&flagPIC != 0,
+		Retpoline:      flags&flagRetpoline != 0,
+	}
+	if o.Name, err = readString(r); err != nil {
+		return nil, err
+	}
+
+	nsec, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nsec > 1<<16 {
+		return nil, fmt.Errorf("elfmod: unreasonable section count %d", nsec)
+	}
+	o.Sections = make([]Section, nsec)
+	for i := range o.Sections {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("elfmod: truncated section %d", i)
+		}
+		o.Sections[i].Kind = SectionKind(kind)
+		if o.Sections[i].Size, err = readUvarint(r); err != nil {
+			return nil, err
+		}
+		if o.Sections[i].Kind != SecBSS {
+			if o.Sections[i].Data, err = readBytes(r); err != nil {
+				return nil, err
+			}
+			if uint64(len(o.Sections[i].Data)) != o.Sections[i].Size {
+				return nil, fmt.Errorf("elfmod: section %d size mismatch", i)
+			}
+		}
+	}
+
+	nsym, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nsym > 1<<20 {
+		return nil, fmt.Errorf("elfmod: unreasonable symbol count %d", nsym)
+	}
+	o.Symbols = make([]Symbol, nsym)
+	for i := range o.Symbols {
+		s := &o.Symbols[i]
+		if s.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		sec, err := readVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		s.Section = int(sec)
+		if s.Offset, err = readUvarint(r); err != nil {
+			return nil, err
+		}
+		if s.Size, err = readUvarint(r); err != nil {
+			return nil, err
+		}
+		bind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		s.Bind = Bind(bind)
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		s.Kind = SymKind(kind)
+		w, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		s.Wrapper = w != 0
+	}
+
+	nrel, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nrel > 1<<24 {
+		return nil, fmt.Errorf("elfmod: unreasonable reloc count %d", nrel)
+	}
+	o.Relocs = make([]Reloc, nrel)
+	for i := range o.Relocs {
+		rl := &o.Relocs[i]
+		sec, err := readVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		rl.Section = int(sec)
+		if rl.Offset, err = readUvarint(r); err != nil {
+			return nil, err
+		}
+		typ, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rl.Type = RelocType(typ)
+		sym, err := readVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		rl.Symbol = int(sym)
+		if rl.Addend, err = readVarint(r); err != nil {
+			return nil, err
+		}
+	}
+	o.rebuildIndex()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func writeBytes(b *bytes.Buffer, p []byte) {
+	writeUvarint(b, uint64(len(p)))
+	b.Write(p)
+}
+
+func readUvarint(r *bytes.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("elfmod: truncated uvarint: %w", err)
+	}
+	return v, nil
+}
+
+func readVarint(r *bytes.Reader) (int64, error) {
+	v, err := binary.ReadVarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("elfmod: truncated varint: %w", err)
+	}
+	return v, nil
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	b, err := readBytes(r)
+	return string(b), err
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("elfmod: length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

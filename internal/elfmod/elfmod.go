@@ -1,0 +1,335 @@
+// Package elfmod defines the relocatable object format for AK64 kernel
+// modules — the stand-in for ELF .ko files.
+//
+// Adelie keeps Linux's relocatable module format rather than switching to
+// shared libraries (paper §4.1): relocations are finalized at load time,
+// which gives the loader the flexibility to create multiple GOTs, build or
+// elide PLT stubs, and patch instructions once symbol locality is known
+// (Fig. 4). This package models exactly the pieces that design needs:
+// sections, a symbol table with undefined (kernel) symbols marked the way
+// `nm` would print U, and the four relocation kinds the compiler emits.
+package elfmod
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SectionKind classifies a section. The split between movable and
+// immovable sections is the heart of the re-randomizable layout
+// (Fig. 2b): .text/.data/.bss move on every re-randomization;
+// .fixed.text (wrappers) and .rodata stay put.
+type SectionKind uint8
+
+const (
+	SecText      SectionKind = iota // movable code
+	SecFixedText                    // immovable glue/wrapper code
+	SecROData                       // immovable read-only data
+	SecData                         // movable initialized data
+	SecBSS                          // movable zero-initialized data
+)
+
+var sectionNames = map[SectionKind]string{
+	SecText: ".text", SecFixedText: ".fixed.text", SecROData: ".rodata",
+	SecData: ".data", SecBSS: ".bss",
+}
+
+func (k SectionKind) String() string {
+	if n, ok := sectionNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf(".sec%d", uint8(k))
+}
+
+// Movable reports whether sections of this kind belong to the movable
+// part of a re-randomizable module.
+func (k SectionKind) Movable() bool {
+	switch k {
+	case SecText, SecData, SecBSS:
+		return true
+	}
+	return false
+}
+
+// Executable reports whether the section holds code.
+func (k SectionKind) Executable() bool { return k == SecText || k == SecFixedText }
+
+// Writable reports whether the section must be mapped writable.
+func (k SectionKind) Writable() bool { return k == SecData || k == SecBSS }
+
+// Section is one module section.
+type Section struct {
+	Kind SectionKind
+	Data []byte // nil for SecBSS
+	Size uint64 // == len(Data) except for SecBSS
+}
+
+// Bind is a symbol's linkage visibility.
+type Bind uint8
+
+const (
+	BindLocal  Bind = iota // static: not visible outside the module
+	BindGlobal             // exported to the kernel symbol table
+)
+
+// SymKind distinguishes functions from data objects.
+type SymKind uint8
+
+const (
+	SymFunc SymKind = iota
+	SymObject
+)
+
+// KeySymbol is the pseudo-symbol whose GOT slot holds the return-address
+// encryption key (paper Fig. 3b: "mov key@GOTPCREL(%rip), %r11"). It is
+// never defined by any module or the kernel; the loader materializes it as
+// a slot in the movable part's local GOT, and the re-randomizer rotates
+// its value every period.
+const KeySymbol = "__adelie_rerand_key"
+
+// Undefined marks a symbol with no defining section — an import from the
+// kernel (or another module), shown as U by nm (paper §4: "it should be
+// very easy to detect external addresses since they are marked as U").
+const Undefined = -1
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	Name    string
+	Section int // index into Object.Sections, or Undefined
+	Offset  uint64
+	Size    uint64
+	Bind    Bind
+	Kind    SymKind
+	// Wrapper marks symbols the plugin generated as immovable wrappers;
+	// the loader exports these to the kernel instead of the real bodies.
+	Wrapper bool
+}
+
+// IsUndefined reports whether the symbol is an import.
+func (s *Symbol) IsUndefined() bool { return s.Section == Undefined }
+
+// RelocType is a relocation kind, mirroring the x86-64 ELF relocations the
+// paper's toolchain produces.
+type RelocType uint8
+
+const (
+	// RelAbs64 stores the 64-bit absolute address of S+A. Only the
+	// absolute (non-PIC) code model emits these for code; re-randomizable
+	// modules may not contain any in movable sections.
+	RelAbs64 RelocType = iota
+	// RelPC32 stores the 32-bit value S+A-P (direct rel32 call/jmp or
+	// RIP-relative data access to a symbol known to be within ±2 GB).
+	RelPC32
+	// RelGOTPCREL stores GOT(S)+A-P: the code reads the symbol's address
+	// from a GOT slot near the instruction pointer. The loader chooses
+	// which of the four GOTs receives the slot (§4.1).
+	RelGOTPCREL
+	// RelPLT32 stores PLT(S)+A-P: a call routed through a PLT stub. Used
+	// when retpoline is enabled; the loader elides stubs for local calls.
+	RelPLT32
+)
+
+var relocNames = map[RelocType]string{
+	RelAbs64: "R_ABS64", RelPC32: "R_PC32",
+	RelGOTPCREL: "R_GOTPCREL", RelPLT32: "R_PLT32",
+}
+
+func (t RelocType) String() string {
+	if n, ok := relocNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("R_%d", uint8(t))
+}
+
+// Width returns the number of bytes the relocation patches.
+func (t RelocType) Width() int {
+	if t == RelAbs64 {
+		return 8
+	}
+	return 4
+}
+
+// Reloc is one relocation record.
+type Reloc struct {
+	Section int // section whose bytes are patched
+	Offset  uint64
+	Type    RelocType
+	Symbol  int // index into Object.Symbols
+	Addend  int64
+}
+
+// Object is a relocatable AK64 module object — the output of the compiler
+// (internal/kcc), optionally after the plugin transform (internal/plugin),
+// and the input of the kernel loader.
+type Object struct {
+	Name     string
+	Sections []Section
+	Symbols  []Symbol
+	Relocs   []Reloc
+
+	// Rerandomizable marks modules built with the plugin: they carry the
+	// movable/immovable split and the wrapper symbols, and the loader
+	// gives them the four-GOT layout plus a registration with the
+	// re-randomizer.
+	Rerandomizable bool
+	// PIC records the code model the object was compiled with. Non-PIC
+	// objects contain RelAbs64 relocations and must be placed within
+	// ±2 GB of the kernel (the vanilla Linux constraint).
+	PIC bool
+	// Retpoline records whether indirect branches were compiled through
+	// retpoline thunks / PLT stubs.
+	Retpoline bool
+
+	symIndex map[string]int
+}
+
+// New returns an empty object with the given name.
+func New(name string) *Object {
+	return &Object{Name: name, symIndex: make(map[string]int)}
+}
+
+// AddSection appends a section and returns its index.
+func (o *Object) AddSection(kind SectionKind, data []byte) int {
+	o.Sections = append(o.Sections, Section{Kind: kind, Data: data, Size: uint64(len(data))})
+	return len(o.Sections) - 1
+}
+
+// AddBSS appends a zero-initialized section of the given size.
+func (o *Object) AddBSS(size uint64) int {
+	o.Sections = append(o.Sections, Section{Kind: SecBSS, Size: size})
+	return len(o.Sections) - 1
+}
+
+// AddSymbol appends a symbol and returns its index. Duplicate defined
+// names are rejected; an undefined symbol is upgraded in place if a
+// definition with the same name arrives later.
+func (o *Object) AddSymbol(s Symbol) (int, error) {
+	if o.symIndex == nil {
+		o.symIndex = make(map[string]int)
+	}
+	if prev, ok := o.symIndex[s.Name]; ok {
+		p := &o.Symbols[prev]
+		switch {
+		case p.IsUndefined() && !s.IsUndefined():
+			*p = s
+			return prev, nil
+		case !p.IsUndefined() && s.IsUndefined():
+			return prev, nil
+		case p.IsUndefined() && s.IsUndefined():
+			return prev, nil
+		default:
+			return 0, fmt.Errorf("elfmod: duplicate symbol %q in %s", s.Name, o.Name)
+		}
+	}
+	o.Symbols = append(o.Symbols, s)
+	o.symIndex[s.Name] = len(o.Symbols) - 1
+	return len(o.Symbols) - 1, nil
+}
+
+// SymbolRef returns the index of the named symbol, adding an undefined
+// placeholder if it is not present yet.
+func (o *Object) SymbolRef(name string) int {
+	if o.symIndex == nil {
+		o.symIndex = make(map[string]int)
+	}
+	if i, ok := o.symIndex[name]; ok {
+		return i
+	}
+	o.Symbols = append(o.Symbols, Symbol{Name: name, Section: Undefined, Bind: BindGlobal})
+	o.symIndex[name] = len(o.Symbols) - 1
+	return len(o.Symbols) - 1
+}
+
+// Lookup returns the symbol with the given name.
+func (o *Object) Lookup(name string) (*Symbol, bool) {
+	if i, ok := o.symIndex[name]; ok {
+		return &o.Symbols[i], true
+	}
+	return nil, false
+}
+
+// AddReloc appends a relocation record.
+func (o *Object) AddReloc(r Reloc) { o.Relocs = append(o.Relocs, r) }
+
+// Undefineds returns the names of all imported symbols, sorted.
+func (o *Object) Undefineds() []string {
+	var out []string
+	for i := range o.Symbols {
+		if o.Symbols[i].IsUndefined() {
+			out = append(out, o.Symbols[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SectionOf returns the first section of the given kind, or nil.
+func (o *Object) SectionOf(kind SectionKind) (int, *Section) {
+	for i := range o.Sections {
+		if o.Sections[i].Kind == kind {
+			return i, &o.Sections[i]
+		}
+	}
+	return -1, nil
+}
+
+// TotalSize returns the byte footprint of the object image: section data
+// plus BSS. This is the quantity Fig. 5a compares between PIC and non-PIC
+// builds (GOT/PLT and longer encodings show up here).
+func (o *Object) TotalSize() uint64 {
+	var n uint64
+	for i := range o.Sections {
+		n += o.Sections[i].Size
+	}
+	return n
+}
+
+// Validate checks internal consistency: indices in range, symbol offsets
+// inside their sections, relocations patching bytes that exist, and the
+// re-randomizable constraint that movable sections carry no absolute
+// relocations (they would dangle after the first remap).
+func (o *Object) Validate() error {
+	for i := range o.Symbols {
+		s := &o.Symbols[i]
+		if s.IsUndefined() {
+			continue
+		}
+		if s.Section < 0 || s.Section >= len(o.Sections) {
+			return fmt.Errorf("elfmod: %s: symbol %q references section %d of %d",
+				o.Name, s.Name, s.Section, len(o.Sections))
+		}
+		sec := &o.Sections[s.Section]
+		if s.Offset > sec.Size {
+			return fmt.Errorf("elfmod: %s: symbol %q offset %d outside %s (size %d)",
+				o.Name, s.Name, s.Offset, sec.Kind, sec.Size)
+		}
+	}
+	for i, r := range o.Relocs {
+		if r.Section < 0 || r.Section >= len(o.Sections) {
+			return fmt.Errorf("elfmod: %s: reloc %d references section %d", o.Name, i, r.Section)
+		}
+		if r.Symbol < 0 || r.Symbol >= len(o.Symbols) {
+			return fmt.Errorf("elfmod: %s: reloc %d references symbol %d", o.Name, i, r.Symbol)
+		}
+		sec := &o.Sections[r.Section]
+		if sec.Kind == SecBSS {
+			return fmt.Errorf("elfmod: %s: reloc %d patches .bss", o.Name, i)
+		}
+		if r.Offset+uint64(r.Type.Width()) > uint64(len(sec.Data)) {
+			return fmt.Errorf("elfmod: %s: reloc %d at %d overruns %s (len %d)",
+				o.Name, i, r.Offset, sec.Kind, len(sec.Data))
+		}
+		if o.Rerandomizable && r.Type == RelAbs64 && sec.Kind.Movable() && sec.Kind.Executable() {
+			return fmt.Errorf("elfmod: %s: absolute relocation in movable code (reloc %d)", o.Name, i)
+		}
+	}
+	return nil
+}
+
+// rebuildIndex reconstructs the name index after decoding.
+func (o *Object) rebuildIndex() {
+	o.symIndex = make(map[string]int, len(o.Symbols))
+	for i := range o.Symbols {
+		o.symIndex[o.Symbols[i].Name] = i
+	}
+}

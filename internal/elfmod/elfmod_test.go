@@ -1,0 +1,248 @@
+package elfmod
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleObject builds a small but representative re-randomizable module.
+func sampleObject(t *testing.T) *Object {
+	t.Helper()
+	o := New("e1000e")
+	o.PIC = true
+	o.Rerandomizable = true
+	text := o.AddSection(SecText, []byte{0x90, 0x90, 0xC3, 0x90})
+	fixed := o.AddSection(SecFixedText, []byte{0x90, 0xC3})
+	data := o.AddSection(SecData, make([]byte, 16))
+	o.AddBSS(64)
+	if _, err := o.AddSymbol(Symbol{Name: "xmit_frame.real", Section: text, Offset: 0, Size: 3, Bind: BindLocal, Kind: SymFunc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddSymbol(Symbol{Name: "xmit_frame", Section: fixed, Offset: 0, Size: 2, Bind: BindGlobal, Kind: SymFunc, Wrapper: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddSymbol(Symbol{Name: "tx_ring", Section: data, Offset: 0, Size: 16, Bind: BindLocal, Kind: SymObject}); err != nil {
+		t.Fatal(err)
+	}
+	kmalloc := o.SymbolRef("kmalloc") // undefined import
+	o.AddReloc(Reloc{Section: text, Offset: 0, Type: RelGOTPCREL, Symbol: kmalloc, Addend: -4})
+	return o
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	o := sampleObject(t)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.symIndex = nil
+	got.symIndex = nil
+	if !reflect.DeepEqual(o, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, o)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := Decode([]byte("NOTAMODULE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := sampleObject(t).Encode()
+	for _, n := range []int{len(enc) / 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptLengths(t *testing.T) {
+	enc := sampleObject(t).Encode()
+	// Flip bytes one at a time; Decode must return an error or a valid
+	// object, never panic. (Validation catches most structural damage.)
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corruption at byte %d: %v", i, r)
+				}
+			}()
+			_, _ = Decode(mut)
+		}()
+	}
+}
+
+func TestQuickDecodeArbitraryBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSymbolDuplicateDefined(t *testing.T) {
+	o := New("m")
+	sec := o.AddSection(SecText, []byte{0xC3})
+	if _, err := o.AddSymbol(Symbol{Name: "f", Section: sec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddSymbol(Symbol{Name: "f", Section: sec}); err == nil {
+		t.Fatal("duplicate definition accepted")
+	}
+}
+
+func TestAddSymbolUpgradesUndefined(t *testing.T) {
+	o := New("m")
+	idx := o.SymbolRef("f") // undefined placeholder
+	sec := o.AddSection(SecText, []byte{0xC3})
+	idx2, err := o.AddSymbol(Symbol{Name: "f", Section: sec, Bind: BindGlobal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2 != idx {
+		t.Fatalf("definition got new index %d, want upgrade of %d", idx2, idx)
+	}
+	if s, _ := o.Lookup("f"); s.IsUndefined() {
+		t.Fatal("symbol still undefined after definition")
+	}
+	// A later undefined reference resolves to the existing definition.
+	if i := o.SymbolRef("f"); i != idx {
+		t.Fatalf("SymbolRef returned %d, want %d", i, idx)
+	}
+}
+
+func TestUndefineds(t *testing.T) {
+	o := sampleObject(t)
+	o.SymbolRef("printk")
+	got := o.Undefineds()
+	want := []string{"kmalloc", "printk"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Undefineds = %v, want %v", got, want)
+	}
+}
+
+func TestValidateCatchesBadSymbolSection(t *testing.T) {
+	o := New("m")
+	o.AddSection(SecText, []byte{0xC3})
+	o.Symbols = append(o.Symbols, Symbol{Name: "f", Section: 7})
+	if err := o.Validate(); err == nil {
+		t.Fatal("symbol with out-of-range section accepted")
+	}
+}
+
+func TestValidateCatchesRelocOverrun(t *testing.T) {
+	o := New("m")
+	sec := o.AddSection(SecText, []byte{0xC3, 0x90})
+	sym := o.SymbolRef("x")
+	o.AddReloc(Reloc{Section: sec, Offset: 1, Type: RelPC32, Symbol: sym})
+	if err := o.Validate(); err == nil {
+		t.Fatal("reloc overrunning section accepted")
+	}
+}
+
+func TestValidateCatchesBSSReloc(t *testing.T) {
+	o := New("m")
+	bss := o.AddBSS(32)
+	sym := o.SymbolRef("x")
+	o.AddReloc(Reloc{Section: bss, Offset: 0, Type: RelAbs64, Symbol: sym})
+	if err := o.Validate(); err == nil {
+		t.Fatal("reloc into .bss accepted")
+	}
+}
+
+func TestValidateRejectsAbs64InMovableCode(t *testing.T) {
+	// The defining constraint of re-randomizable modules: movable code
+	// cannot contain absolute addresses, or the first remap would leave
+	// dangling pointers (paper §3.2 "Performance" goal).
+	o := New("m")
+	o.Rerandomizable = true
+	sec := o.AddSection(SecText, make([]byte, 16))
+	sym := o.SymbolRef("x")
+	o.AddReloc(Reloc{Section: sec, Offset: 0, Type: RelAbs64, Symbol: sym})
+	if err := o.Validate(); err == nil || !strings.Contains(err.Error(), "absolute relocation in movable") {
+		t.Fatalf("got %v, want movable-abs64 rejection", err)
+	}
+	// The same relocation in a non-rerandomizable module is fine.
+	o.Rerandomizable = false
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionKindProperties(t *testing.T) {
+	movable := map[SectionKind]bool{SecText: true, SecData: true, SecBSS: true}
+	exec := map[SectionKind]bool{SecText: true, SecFixedText: true}
+	writable := map[SectionKind]bool{SecData: true, SecBSS: true}
+	for _, k := range []SectionKind{SecText, SecFixedText, SecROData, SecData, SecBSS} {
+		if k.Movable() != movable[k] {
+			t.Errorf("%v.Movable() = %v", k, k.Movable())
+		}
+		if k.Executable() != exec[k] {
+			t.Errorf("%v.Executable() = %v", k, k.Executable())
+		}
+		if k.Writable() != writable[k] {
+			t.Errorf("%v.Writable() = %v", k, k.Writable())
+		}
+	}
+}
+
+func TestTotalSizeIncludesBSS(t *testing.T) {
+	o := New("m")
+	o.AddSection(SecText, make([]byte, 100))
+	o.AddBSS(50)
+	if got := o.TotalSize(); got != 150 {
+		t.Fatalf("TotalSize = %d, want 150", got)
+	}
+}
+
+func TestSectionOf(t *testing.T) {
+	o := sampleObject(t)
+	i, s := o.SectionOf(SecFixedText)
+	if s == nil || s.Kind != SecFixedText || i != 1 {
+		t.Fatalf("SectionOf(.fixed.text) = (%d, %v)", i, s)
+	}
+	if _, s := o.SectionOf(SecROData); s != nil {
+		t.Fatal("found nonexistent .rodata")
+	}
+}
+
+func TestRelocWidth(t *testing.T) {
+	if RelAbs64.Width() != 8 {
+		t.Fatal("ABS64 must patch 8 bytes")
+	}
+	for _, rt := range []RelocType{RelPC32, RelGOTPCREL, RelPLT32} {
+		if rt.Width() != 4 {
+			t.Fatalf("%v must patch 4 bytes", rt)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	o := New("bench")
+	o.PIC = true
+	text := o.AddSection(SecText, make([]byte, 8192))
+	for i := 0; i < 100; i++ {
+		sym := o.SymbolRef("sym" + string(rune('a'+i%26)) + string(rune('0'+i%10)))
+		o.AddReloc(Reloc{Section: text, Offset: uint64(i * 16), Type: RelGOTPCREL, Symbol: sym})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := o.Encode()
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package kcc
+
+import (
+	"fmt"
+	"sort"
+
+	"adelie/internal/elfmod"
+	"adelie/internal/isa"
+)
+
+// ScratchReg is reserved for the compiler (address materialization in
+// GlobalStore and similar multi-step lowerings). Driver IR must not rely
+// on it surviving across instructions.
+const ScratchReg = isa.R10
+
+// RetpolineThunkPrefix names the indirect-branch thunks, mirroring the
+// Linux symbol __x86_indirect_thunk_<reg> (paper §2.5).
+const RetpolineThunkPrefix = "__ak64_indirect_thunk_"
+
+// funcAlign is the alignment of function entry points; the padding NOPs
+// are part of what the gadget scanner sees, as on real systems.
+const funcAlign = 16
+
+// Compile lowers a module to a relocatable object under the given options.
+func Compile(m *Module, opts Options) (*elfmod.Object, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Rerandomizable && opts.Model != ModelPIC {
+		return nil, fmt.Errorf("kcc: %s: re-randomizable modules require the PIC model", m.Name)
+	}
+	c := &compiler{
+		mod:  m,
+		opts: opts,
+		obj:  elfmod.New(m.Name),
+	}
+	c.obj.PIC = opts.Model == ModelPIC
+	c.obj.Retpoline = opts.Retpoline
+	c.obj.Rerandomizable = opts.Rerandomizable
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	if err := c.obj.Validate(); err != nil {
+		return nil, fmt.Errorf("kcc: %s: produced invalid object: %w", m.Name, err)
+	}
+	return c.obj, nil
+}
+
+type compiler struct {
+	mod  *Module
+	opts Options
+	obj  *elfmod.Object
+
+	text      sectionBuf
+	fixedText sectionBuf
+	data      sectionBuf
+	rodata    sectionBuf
+	bssSize   uint64
+	bssSyms   []elfmod.Symbol // offsets assigned during layout
+
+	// pending relocations use section-kind + offset until section indexes
+	// are known at assembly time.
+	relocs []pendingReloc
+}
+
+type pendingReloc struct {
+	secKind elfmod.SectionKind
+	offset  uint64
+	typ     elfmod.RelocType
+	sym     string
+	addend  int64
+}
+
+type sectionBuf struct {
+	bytes []byte
+	syms  []elfmod.Symbol // Section field filled at assembly time
+}
+
+func (s *sectionBuf) align(n int, pad byte) {
+	for len(s.bytes)%n != 0 {
+		s.bytes = append(s.bytes, pad)
+	}
+}
+
+func (c *compiler) run() error {
+	// Retpoline thunks are generated lazily per (register, section) as
+	// indirect calls are lowered, then appended after user functions.
+	thunksNeeded := map[string]thunkReq{}
+
+	for _, f := range c.mod.Funcs {
+		sec := &c.text
+		kind := elfmod.SecText
+		if f.InFixedText {
+			sec = &c.fixedText
+			kind = elfmod.SecFixedText
+		}
+		if err := c.compileFunc(f, sec, kind, thunksNeeded); err != nil {
+			return err
+		}
+	}
+
+	// Emit the thunks (deterministic order for reproducible images).
+	names := make([]string, 0, len(thunksNeeded))
+	for n := range thunksNeeded {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		req := thunksNeeded[n]
+		sec, kind := &c.text, elfmod.SecText
+		if req.fixed {
+			sec, kind = &c.fixedText, elfmod.SecFixedText
+		}
+		c.emitThunk(n, req.reg, sec, kind)
+	}
+
+	// Globals.
+	for _, g := range c.mod.Globals {
+		if err := c.compileGlobal(g); err != nil {
+			return err
+		}
+	}
+
+	return c.assemble()
+}
+
+type thunkReq struct {
+	reg   isa.Reg
+	fixed bool
+}
+
+// thunkName returns the section-specific thunk symbol for reg.
+func thunkName(reg isa.Reg, fixed bool) string {
+	n := RetpolineThunkPrefix + reg.String()
+	if fixed {
+		n += ".fixed"
+	}
+	return n
+}
+
+// emitThunk writes a retpoline thunk: the return-trampoline construct that
+// redirects an indirect branch through a RET so the indirect-branch
+// predictor is never consulted (paper §2.5). The NOPs stand in for the
+// speculation-capture pause/lfence loop and charge its cost.
+func (c *compiler) emitThunk(name string, reg isa.Reg, sec *sectionBuf, kind elfmod.SectionKind) {
+	sec.align(funcAlign, byte(isa.OpNOP))
+	start := uint64(len(sec.bytes))
+	sec.bytes = isa.Inst{Op: isa.OpPUSH, R1: reg}.Append(sec.bytes)
+	sec.bytes = isa.Inst{Op: isa.OpNOP}.Append(sec.bytes)
+	sec.bytes = isa.Inst{Op: isa.OpNOP}.Append(sec.bytes)
+	sec.bytes = isa.Inst{Op: isa.OpRET}.Append(sec.bytes)
+	sec.syms = append(sec.syms, elfmod.Symbol{
+		Name: name, Offset: start, Size: uint64(len(sec.bytes)) - start,
+		Bind: elfmod.BindLocal, Kind: elfmod.SymFunc,
+	})
+	_ = kind
+}
+
+func (c *compiler) compileFunc(f *Func, sec *sectionBuf, kind elfmod.SectionKind, thunks map[string]thunkReq) error {
+	sec.align(funcAlign, byte(isa.OpNOP))
+	start := uint64(len(sec.bytes))
+
+	labels := map[string]uint64{} // label → section offset
+	type fixup struct {
+		at    uint64 // offset of the rel32 field within the section
+		label string
+	}
+	var fixups []fixup
+
+	emit := func(in isa.Inst) {
+		sec.bytes = in.Append(sec.bytes)
+	}
+	here := func() uint64 { return uint64(len(sec.bytes)) }
+
+	for i, in := range f.Body {
+		switch in.Kind {
+		case ILabel:
+			labels[in.Label] = here()
+
+		case IMovImm:
+			if in.Imm >= -1<<31 && in.Imm < 1<<31 {
+				emit(isa.Inst{Op: isa.OpMOVI, R1: in.Dst, Imm: in.Imm})
+			} else {
+				emit(isa.Inst{Op: isa.OpMOVABS, R1: in.Dst, Imm: in.Imm})
+			}
+
+		case IMovReg:
+			emit(isa.Inst{Op: isa.OpMOV, R1: in.Dst, R2: in.Src})
+
+		case ILoad:
+			emit(isa.Inst{Op: isa.OpLOAD, R1: in.Dst, R2: in.Src, Disp: in.Off})
+
+		case IStore:
+			emit(isa.Inst{Op: isa.OpSTORE, R1: in.Src, R2: in.Dst, Disp: in.Off})
+
+		case IXorMem:
+			emit(isa.Inst{Op: isa.OpXORM, R1: in.Src, R2: in.Dst, Disp: in.Off})
+
+		case IGlobalAddr:
+			c.emitAddrOf(sec, kind, in.Dst, in.Sym)
+
+		case IGotLoad:
+			if c.opts.Model != ModelPIC {
+				return fmt.Errorf("func %q: GOT load of %q requires the PIC model", f.Name, in.Sym)
+			}
+			c.reloc(kind, here()+2, elfmod.RelGOTPCREL, in.Sym, -4)
+			emit(isa.Inst{Op: isa.OpLDRIP, R1: in.Dst})
+
+		case IGlobalLoad:
+			c.emitAddrOf(sec, kind, in.Dst, in.Sym)
+			emit(isa.Inst{Op: isa.OpLOAD, R1: in.Dst, R2: in.Dst})
+
+		case IGlobalStore:
+			c.emitAddrOf(sec, kind, ScratchReg, in.Sym)
+			emit(isa.Inst{Op: isa.OpSTORE, R1: in.Src, R2: ScratchReg})
+
+		case ICall:
+			switch {
+			case c.opts.Model == ModelAbsolute:
+				// Direct rel32 call: the loader guarantees modules load
+				// within ±2 GB of the kernel in this model.
+				c.reloc(kind, here()+1, elfmod.RelPC32, in.Sym, -4)
+				emit(isa.Inst{Op: isa.OpCALL})
+			case c.opts.Retpoline:
+				// call foo@PLT: patched by the loader to a direct call
+				// for local symbols, kept as a PLT stub otherwise
+				// (paper Fig. 4, "With PLT" rows).
+				c.reloc(kind, here()+1, elfmod.RelPLT32, in.Sym, -4)
+				emit(isa.Inst{Op: isa.OpCALL})
+			default:
+				// call *foo@GOTPCREL(%rip): patched to a direct call for
+				// local symbols (paper Fig. 4, "No PLT" rows).
+				c.reloc(kind, here()+1, elfmod.RelGOTPCREL, in.Sym, -4)
+				emit(isa.Inst{Op: isa.OpCALLM})
+			}
+
+		case ICallReg:
+			if c.opts.Retpoline {
+				tn := thunkName(in.Src, kind == elfmod.SecFixedText)
+				thunks[tn] = thunkReq{reg: in.Src, fixed: kind == elfmod.SecFixedText}
+				c.reloc(kind, here()+1, elfmod.RelPC32, tn, -4)
+				emit(isa.Inst{Op: isa.OpCALL})
+			} else {
+				emit(isa.Inst{Op: isa.OpCALLR, R1: in.Src})
+			}
+
+		case IArith:
+			op, ok := arithRegOps[in.Op]
+			if !ok {
+				return fmt.Errorf("func %q: instruction %d: arith op %d has no register form", f.Name, i, in.Op)
+			}
+			emit(isa.Inst{Op: op, R1: in.Dst, R2: in.Src})
+
+		case IArithImm:
+			op, ok := arithImmOps[in.Op]
+			if !ok {
+				return fmt.Errorf("func %q: instruction %d: arith op %d has no immediate form", f.Name, i, in.Op)
+			}
+			emit(isa.Inst{Op: op, R1: in.Dst, Imm: in.Imm})
+
+		case ICmp:
+			emit(isa.Inst{Op: isa.OpCMP, R1: in.Dst, R2: in.Src})
+
+		case ICmpImm:
+			emit(isa.Inst{Op: isa.OpCMPI, R1: in.Dst, Imm: in.Imm})
+
+		case IJmp:
+			fixups = append(fixups, fixup{at: here() + 1, label: in.Label})
+			emit(isa.Inst{Op: isa.OpJMP})
+
+		case IBr:
+			fixups = append(fixups, fixup{at: here() + 1, label: in.Label})
+			emit(isa.Inst{Op: condOps[in.Cond]})
+
+		case IPush:
+			emit(isa.Inst{Op: isa.OpPUSH, R1: in.Src})
+
+		case IPop:
+			emit(isa.Inst{Op: isa.OpPOP, R1: in.Dst})
+
+		case IRet:
+			emit(isa.Inst{Op: isa.OpRET})
+
+		default:
+			return fmt.Errorf("func %q: unknown instruction kind %d", f.Name, in.Kind)
+		}
+	}
+
+	// Patch label fixups: rel32 = label - (field + 4).
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return fmt.Errorf("func %q: undefined label %q", f.Name, fx.label)
+		}
+		rel := int64(target) - int64(fx.at+4)
+		if rel < -1<<31 || rel >= 1<<31 {
+			return fmt.Errorf("func %q: branch to %q out of rel32 range", f.Name, fx.label)
+		}
+		putI32(sec.bytes, fx.at, int32(rel))
+	}
+
+	bind := elfmod.BindLocal
+	if f.Export {
+		bind = elfmod.BindGlobal
+	}
+	sec.syms = append(sec.syms, elfmod.Symbol{
+		Name: f.Name, Offset: start, Size: uint64(len(sec.bytes)) - start,
+		Bind: bind, Kind: elfmod.SymFunc, Wrapper: f.Wrapper,
+	})
+	return nil
+}
+
+// emitAddrOf materializes &sym into dst under the active code model.
+func (c *compiler) emitAddrOf(sec *sectionBuf, kind elfmod.SectionKind, dst isa.Reg, sym string) {
+	here := uint64(len(sec.bytes))
+	if c.opts.Model == ModelAbsolute {
+		// movabs $sym, dst with a 64-bit absolute relocation.
+		c.reloc(kind, here+2, elfmod.RelAbs64, sym, 0)
+		sec.bytes = isa.Inst{Op: isa.OpMOVABS, R1: dst}.Append(sec.bytes)
+		return
+	}
+	// mov sym@GOTPCREL(%rip), dst — reads the symbol's address from its
+	// GOT slot; the loader rewrites this to lea sym(%rip), dst when the
+	// symbol turns out to be local (paper Fig. 4, last row).
+	c.reloc(kind, here+2, elfmod.RelGOTPCREL, sym, -4)
+	sec.bytes = isa.Inst{Op: isa.OpLDRIP, R1: dst}.Append(sec.bytes)
+}
+
+func (c *compiler) reloc(kind elfmod.SectionKind, off uint64, typ elfmod.RelocType, sym string, addend int64) {
+	c.relocs = append(c.relocs, pendingReloc{secKind: kind, offset: off, typ: typ, sym: sym, addend: addend})
+}
+
+func (c *compiler) compileGlobal(g *Global) error {
+	var sec *sectionBuf
+	var kind elfmod.SectionKind
+	switch {
+	case g.Init == nil:
+		// .bss: offsets assigned during assembly.
+		bind := elfmod.BindLocal
+		if g.Export {
+			bind = elfmod.BindGlobal
+		}
+		// Align to 8.
+		c.bssSize = (c.bssSize + 7) &^ 7
+		c.bssSyms = append(c.bssSyms, elfmod.Symbol{
+			Name: g.Name, Offset: c.bssSize, Size: g.Size,
+			Bind: bind, Kind: elfmod.SymObject,
+		})
+		c.bssSize += g.Size
+		if len(g.Relocs) > 0 {
+			return fmt.Errorf("kcc: global %q: .bss cannot carry relocations", g.Name)
+		}
+		return nil
+	case g.ReadOnly:
+		sec, kind = &c.rodata, elfmod.SecROData
+	default:
+		sec, kind = &c.data, elfmod.SecData
+	}
+	sec.align(8, 0)
+	start := uint64(len(sec.bytes))
+	sec.bytes = append(sec.bytes, g.Init...)
+	bind := elfmod.BindLocal
+	if g.Export {
+		bind = elfmod.BindGlobal
+	}
+	sec.syms = append(sec.syms, elfmod.Symbol{
+		Name: g.Name, Offset: start, Size: g.Size,
+		Bind: bind, Kind: elfmod.SymObject,
+	})
+	for _, dr := range g.Relocs {
+		if dr.Offset+8 > g.Size {
+			return fmt.Errorf("kcc: global %q: data reloc at %d overruns size %d", g.Name, dr.Offset, g.Size)
+		}
+		c.reloc(kind, start+dr.Offset, elfmod.RelAbs64, dr.Sym, 0)
+	}
+	return nil
+}
+
+// assemble materializes the buffered sections, symbols and relocations
+// into the output object.
+func (c *compiler) assemble() error {
+	secIdx := map[elfmod.SectionKind]int{}
+	addSec := func(kind elfmod.SectionKind, buf *sectionBuf) {
+		if len(buf.bytes) == 0 && len(buf.syms) == 0 {
+			return
+		}
+		idx := c.obj.AddSection(kind, buf.bytes)
+		secIdx[kind] = idx
+		for _, s := range buf.syms {
+			s.Section = idx
+			if _, err := c.obj.AddSymbol(s); err != nil {
+				panic(err) // duplicates rejected by validate() earlier
+			}
+		}
+	}
+	addSec(elfmod.SecText, &c.text)
+	addSec(elfmod.SecFixedText, &c.fixedText)
+	addSec(elfmod.SecROData, &c.rodata)
+	addSec(elfmod.SecData, &c.data)
+	if c.bssSize > 0 || len(c.bssSyms) > 0 {
+		idx := c.obj.AddBSS(c.bssSize)
+		secIdx[elfmod.SecBSS] = idx
+		for _, s := range c.bssSyms {
+			s.Section = idx
+			if _, err := c.obj.AddSymbol(s); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, pr := range c.relocs {
+		idx, ok := secIdx[pr.secKind]
+		if !ok {
+			return fmt.Errorf("kcc: relocation against missing section %v", pr.secKind)
+		}
+		c.obj.AddReloc(elfmod.Reloc{
+			Section: idx, Offset: pr.offset, Type: pr.typ,
+			Symbol: c.obj.SymbolRef(pr.sym), Addend: pr.addend,
+		})
+	}
+	return nil
+}
+
+func putI32(b []byte, off uint64, v int32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}

@@ -1,0 +1,343 @@
+// Package kcc is the "kernel C compiler" of the reproduction: it lowers a
+// small register-level IR to AK64 machine code inside an elfmod.Object.
+//
+// The package models the parts of the GCC toolchain the paper's mechanisms
+// live in:
+//
+//   - code models: Absolute (vanilla kernel modules: direct rel32 calls,
+//     64-bit absolute data addresses, must load within ±2 GB of the
+//     kernel) and PIC (RIP-relative everything, symbol addresses fetched
+//     from a GOT, calls through GOT or PLT) — paper §3.3;
+//   - the Spectre-V2 retpoline mitigation: with it enabled, indirect
+//     branches go through return-trampoline thunks and external calls go
+//     through PLT stubs built from JMP_NOSPEC (paper §2.5, §4.1);
+//   - deterministic encodings, so the loader can rewrite call sites and
+//     GOT loads in place once symbol locality is known (paper Fig. 4).
+//
+// The plugin transform (internal/plugin) operates on this IR before
+// compilation, exactly as the paper's GCC plugin operates on GCC's
+// internal representation.
+package kcc
+
+import (
+	"fmt"
+
+	"adelie/internal/isa"
+)
+
+// CodeModel selects how symbol addresses are materialized.
+type CodeModel uint8
+
+const (
+	// ModelAbsolute is the vanilla Linux module model: direct rel32 calls
+	// (targets within ±2 GB) and movabs for data addresses. KASLR range
+	// is limited to 31 bits of entropy (paper §1).
+	ModelAbsolute CodeModel = iota
+	// ModelPIC is Adelie's model: all symbol access is RIP-relative via
+	// GOT slots; code can run anywhere in the 64-bit space.
+	ModelPIC
+)
+
+func (m CodeModel) String() string {
+	if m == ModelAbsolute {
+		return "absolute"
+	}
+	return "pic"
+}
+
+// Options configure a compilation.
+type Options struct {
+	Model     CodeModel
+	Retpoline bool
+	// Rerandomizable marks the output object as plugin-transformed; set by
+	// internal/plugin, never directly by drivers. Requires ModelPIC.
+	Rerandomizable bool
+}
+
+// Cond is a branch condition.
+type Cond uint8
+
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondGE
+	CondLE
+	CondGT
+	CondB  // unsigned below
+	CondAE // unsigned above-or-equal
+)
+
+var condOps = map[Cond]isa.Op{
+	CondEQ: isa.OpJE, CondNE: isa.OpJNE, CondLT: isa.OpJL, CondGE: isa.OpJGE,
+	CondLE: isa.OpJLE, CondGT: isa.OpJG, CondB: isa.OpJB, CondAE: isa.OpJAE,
+}
+
+// ArithOp is a two-operand ALU operation.
+type ArithOp uint8
+
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpXor
+	OpAnd
+	OpOr
+	OpMul
+	OpDiv
+	OpShl // immediate form only
+	OpShr // immediate form only
+)
+
+var arithRegOps = map[ArithOp]isa.Op{
+	OpAdd: isa.OpADD, OpSub: isa.OpSUB, OpXor: isa.OpXOR,
+	OpAnd: isa.OpAND, OpOr: isa.OpOR, OpMul: isa.OpIMUL, OpDiv: isa.OpUDIV,
+}
+
+var arithImmOps = map[ArithOp]isa.Op{
+	OpAdd: isa.OpADDI, OpSub: isa.OpSUBI, OpXor: isa.OpXORI,
+	OpAnd: isa.OpANDI, OpShl: isa.OpSHLI, OpShr: isa.OpSHRI,
+}
+
+// InsKind enumerates IR instructions.
+type InsKind uint8
+
+const (
+	ILabel       InsKind = iota // Label:
+	IMovImm                     // Dst = Imm
+	IMovReg                     // Dst = Src
+	ILoad                       // Dst = mem64[Src + Off]
+	IStore                      // mem64[Dst + Off] = Src
+	IGlobalAddr                 // Dst = &Sym
+	IGlobalLoad                 // Dst = *(&Sym) (64-bit value of global)
+	IGlobalStore                // *(&Sym) = Src
+	IGotLoad                    // Dst = GOT[Sym] — raw GOT slot contents (key load)
+	ICall                       // call Sym
+	ICallReg                    // call *Src
+	IArith                      // Dst = Dst op Src
+	IArithImm                   // Dst = Dst op Imm
+	ICmp                        // flags = cmp(Dst, Src)
+	ICmpImm                     // flags = cmp(Dst, Imm)
+	IJmp                        // goto Label
+	IBr                         // if Cond goto Label
+	IPush                       // push Src
+	IPop                        // pop Dst
+	IXorMem                     // mem64[Dst + Off] ^= Src (return-address encryption)
+	IRet                        // return
+)
+
+// Ins is one IR instruction. Fields are used according to Kind.
+type Ins struct {
+	Kind  InsKind
+	Dst   isa.Reg
+	Src   isa.Reg
+	Imm   int64
+	Off   int32
+	Sym   string
+	Label string
+	Cond  Cond
+	Op    ArithOp
+}
+
+// Constructor helpers keep driver code readable.
+
+// Label marks a branch target.
+func Label(name string) Ins { return Ins{Kind: ILabel, Label: name} }
+
+// MovImm sets dst = imm.
+func MovImm(dst isa.Reg, imm int64) Ins { return Ins{Kind: IMovImm, Dst: dst, Imm: imm} }
+
+// MovReg sets dst = src.
+func MovReg(dst, src isa.Reg) Ins { return Ins{Kind: IMovReg, Dst: dst, Src: src} }
+
+// Load sets dst = mem64[base+off].
+func Load(dst, base isa.Reg, off int32) Ins { return Ins{Kind: ILoad, Dst: dst, Src: base, Off: off} }
+
+// Store sets mem64[base+off] = src.
+func Store(base isa.Reg, off int32, src isa.Reg) Ins {
+	return Ins{Kind: IStore, Dst: base, Off: off, Src: src}
+}
+
+// GlobalAddr sets dst = &sym.
+func GlobalAddr(dst isa.Reg, sym string) Ins { return Ins{Kind: IGlobalAddr, Dst: dst, Sym: sym} }
+
+// GlobalLoad sets dst = the 64-bit value stored at sym.
+func GlobalLoad(dst isa.Reg, sym string) Ins { return Ins{Kind: IGlobalLoad, Dst: dst, Sym: sym} }
+
+// GlobalStore stores src into the 64-bit global sym.
+func GlobalStore(sym string, src isa.Reg) Ins { return Ins{Kind: IGlobalStore, Sym: sym, Src: src} }
+
+// GotLoad sets dst = GOT[sym], the raw slot contents. For ordinary symbols
+// that is the symbol's address; for the re-randomization key pseudo-symbol
+// (plugin.KeySymbol) the slot holds the key itself (paper Fig. 3b).
+func GotLoad(dst isa.Reg, sym string) Ins { return Ins{Kind: IGotLoad, Dst: dst, Sym: sym} }
+
+// Call emits a direct call to sym.
+func Call(sym string) Ins { return Ins{Kind: ICall, Sym: sym} }
+
+// CallReg emits an indirect call through src.
+func CallReg(src isa.Reg) Ins { return Ins{Kind: ICallReg, Src: src} }
+
+// Arith sets dst = dst op src.
+func Arith(op ArithOp, dst, src isa.Reg) Ins { return Ins{Kind: IArith, Op: op, Dst: dst, Src: src} }
+
+// ArithImm sets dst = dst op imm.
+func ArithImm(op ArithOp, dst isa.Reg, imm int64) Ins {
+	return Ins{Kind: IArithImm, Op: op, Dst: dst, Imm: imm}
+}
+
+// Cmp compares two registers.
+func Cmp(a, b isa.Reg) Ins { return Ins{Kind: ICmp, Dst: a, Src: b} }
+
+// CmpImm compares a register with an immediate.
+func CmpImm(a isa.Reg, imm int64) Ins { return Ins{Kind: ICmpImm, Dst: a, Imm: imm} }
+
+// Jmp jumps unconditionally to a label.
+func Jmp(label string) Ins { return Ins{Kind: IJmp, Label: label} }
+
+// Br jumps to a label if cond holds.
+func Br(cond Cond, label string) Ins { return Ins{Kind: IBr, Cond: cond, Label: label} }
+
+// Push pushes src.
+func Push(src isa.Reg) Ins { return Ins{Kind: IPush, Src: src} }
+
+// Pop pops into dst.
+func Pop(dst isa.Reg) Ins { return Ins{Kind: IPop, Dst: dst} }
+
+// XorMem xors src into mem64[base+off].
+func XorMem(base isa.Reg, off int32, src isa.Reg) Ins {
+	return Ins{Kind: IXorMem, Dst: base, Off: off, Src: src}
+}
+
+// Ret returns from the function.
+func Ret() Ins { return Ins{Kind: IRet} }
+
+// Func is one IR function.
+type Func struct {
+	Name   string
+	Export bool // exported to the kernel (global bind); else static
+	Body   []Ins
+
+	// InFixedText places the compiled function into .fixed.text — used by
+	// the plugin for wrappers (the immovable part, paper Fig. 2b).
+	InFixedText bool
+	// NoInstrument excludes the function from prologue/epilogue injection
+	// (the wrappers themselves and the retpoline thunks).
+	NoInstrument bool
+	// Wrapper marks plugin-generated wrapper functions; the flag is
+	// propagated to the symbol table so the loader can identify them.
+	Wrapper bool
+}
+
+// DataReloc records that a global's initializer holds the absolute address
+// of another symbol at the given offset (e.g. the function pointers in a
+// static ops table such as ext4_file_inode_operations, paper §6). The
+// loader resolves these, and for re-randomizable modules records the local
+// ones so the re-randomizer can slide them on every move.
+type DataReloc struct {
+	Offset uint64
+	Sym    string
+}
+
+// Global is one IR data object.
+type Global struct {
+	Name     string
+	Size     uint64
+	Init     []byte // nil → .bss; else .data or .rodata
+	ReadOnly bool
+	Export   bool
+	Relocs   []DataReloc // symbol addresses embedded in Init
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// AddFunc appends a function and returns it for further construction.
+func (m *Module) AddFunc(name string, export bool, body ...Ins) *Func {
+	f := &Func{Name: name, Export: export, Body: body}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// AddGlobal appends a data object.
+func (m *Module) AddGlobal(g Global) *Global {
+	gp := &g
+	m.Globals = append(m.Globals, gp)
+	return gp
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// validate checks structural properties before lowering.
+func (m *Module) validate() error {
+	seen := map[string]bool{}
+	for _, g := range m.Globals {
+		if seen[g.Name] {
+			return fmt.Errorf("kcc: %s: duplicate global %q", m.Name, g.Name)
+		}
+		seen[g.Name] = true
+		if g.Init != nil && uint64(len(g.Init)) != g.Size {
+			return fmt.Errorf("kcc: %s: global %q init size %d != size %d",
+				m.Name, g.Name, len(g.Init), g.Size)
+		}
+	}
+	for _, f := range m.Funcs {
+		if seen[f.Name] {
+			return fmt.Errorf("kcc: %s: duplicate symbol %q", m.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if err := validateFunc(f); err != nil {
+			return fmt.Errorf("kcc: %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateFunc(f *Func) error {
+	if len(f.Body) == 0 {
+		return fmt.Errorf("func %q has empty body", f.Name)
+	}
+	labels := map[string]bool{}
+	for _, in := range f.Body {
+		if in.Kind == ILabel {
+			if labels[in.Label] {
+				return fmt.Errorf("func %q: duplicate label %q", f.Name, in.Label)
+			}
+			labels[in.Label] = true
+		}
+	}
+	returns := false
+	for i, in := range f.Body {
+		switch in.Kind {
+		case IJmp, IBr:
+			if !labels[in.Label] {
+				return fmt.Errorf("func %q: undefined label %q", f.Name, in.Label)
+			}
+		case IRet:
+			returns = true
+		case ICall, IGlobalAddr, IGlobalLoad, IGlobalStore, IGotLoad:
+			if in.Sym == "" {
+				return fmt.Errorf("func %q: instruction %d missing symbol", f.Name, i)
+			}
+		}
+	}
+	if !returns {
+		return fmt.Errorf("func %q never returns", f.Name)
+	}
+	last := f.Body[len(f.Body)-1]
+	if last.Kind != IRet && last.Kind != IJmp {
+		return fmt.Errorf("func %q falls off the end", f.Name)
+	}
+	return nil
+}

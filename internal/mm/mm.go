@@ -1,0 +1,535 @@
+// Package mm simulates the memory subsystem Adelie manipulates: physical
+// page frames, a 57-bit virtual address space with 5-level page tables,
+// page permissions (including NX / W^X enforcement), and TLBs.
+//
+// The central operation for the paper is zero-copy remapping (Fig. 2a):
+// RemapRegion installs page-table entries at a new random base that point
+// at the same physical frames as the old region, so moving a module never
+// copies its code or data. Unmapping the old range is deferred by the
+// re-randomizer until pending calls drain (internal/smr + internal/rerand).
+package mm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Page geometry. AK64 uses 4 KB pages and five 9-bit translation levels,
+// giving the 57-bit virtual address space of x86-64 5-level paging (the
+// configuration the paper's §6 entropy analysis assumes).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+
+	levelBits = 9
+	numLevels = 5
+
+	// VABits is the number of meaningful virtual-address bits.
+	VABits = PageShift + levelBits*numLevels // 57
+
+	// KernelBase is the lowest kernel-half virtual address. Addresses at or
+	// above it are kernel space; below is user space (SMAP: the kernel
+	// refuses to fetch code from user pages).
+	KernelBase = uint64(1) << (VABits - 1)
+
+	// MaxVA is one past the highest valid virtual address.
+	MaxVA = uint64(1) << VABits
+)
+
+// FrameID identifies a physical page frame.
+type FrameID uint64
+
+// NoFrame is the zero FrameID sentinel used where no frame applies.
+const NoFrame = FrameID(^uint64(0))
+
+// PageFlags describe page permissions. A present page is always readable;
+// Write and Exec are granted separately so W^X can be enforced.
+type PageFlags uint8
+
+const (
+	FlagWrite PageFlags = 1 << iota // page is writable
+	FlagExec                        // page is executable (NX clear)
+	FlagUser                        // page belongs to user space
+	FlagMMIO                        // loads/stores are routed to a device
+)
+
+func (f PageFlags) String() string {
+	s := "r"
+	if f&FlagWrite != 0 {
+		s += "w"
+	} else {
+		s += "-"
+	}
+	if f&FlagExec != 0 {
+		s += "x"
+	} else {
+		s += "-"
+	}
+	if f&FlagUser != 0 {
+		s += "u"
+	}
+	if f&FlagMMIO != 0 {
+		s += "m"
+	}
+	return s
+}
+
+// Access is the kind of memory access being attempted.
+type Access uint8
+
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "?"
+}
+
+// PageFault reports a failed translation. The Adelie threat model leans on
+// these: writes to a write-protected GOT fault, execution of NX data
+// faults, and stale module addresses fault once the old range is unmapped.
+type PageFault struct {
+	VA     uint64
+	Access Access
+	Reason string
+}
+
+func (e *PageFault) Error() string {
+	return fmt.Sprintf("page fault: %s at %#x (%s)", e.Access, e.VA, e.Reason)
+}
+
+// PhysMem is the physical memory of the machine: a growable set of 4 KB
+// frames with a free list. Frames are zeroed on allocation.
+type PhysMem struct {
+	mu     sync.Mutex
+	frames []*[PageSize]byte
+	free   []FrameID
+
+	allocated   atomic.Int64 // currently live frames
+	totalAllocs atomic.Int64
+}
+
+// NewPhysMem returns an empty physical memory.
+func NewPhysMem() *PhysMem { return &PhysMem{} }
+
+// Alloc allocates a zeroed frame.
+func (p *PhysMem) Alloc() FrameID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.allocated.Add(1)
+	p.totalAllocs.Add(1)
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		*p.frames[id] = [PageSize]byte{}
+		return id
+	}
+	p.frames = append(p.frames, new([PageSize]byte))
+	return FrameID(len(p.frames) - 1)
+}
+
+// AllocN allocates n zeroed frames.
+func (p *PhysMem) AllocN(n int) []FrameID {
+	out := make([]FrameID, n)
+	for i := range out {
+		out[i] = p.Alloc()
+	}
+	return out
+}
+
+// Free returns a frame to the free list. Freeing an out-of-range frame
+// panics: it indicates corruption in the caller, not bad input.
+func (p *PhysMem) Free(id FrameID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.frames) {
+		panic(fmt.Sprintf("mm: free of invalid frame %d", id))
+	}
+	p.allocated.Add(-1)
+	p.free = append(p.free, id)
+}
+
+// Frame returns the backing bytes of a frame. The caller must not retain
+// the slice across a Free of the same frame.
+func (p *PhysMem) Frame(id FrameID) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.frames) {
+		panic(fmt.Sprintf("mm: access to invalid frame %d", id))
+	}
+	return p.frames[id][:]
+}
+
+// Live returns the number of currently allocated frames.
+func (p *PhysMem) Live() int64 { return p.allocated.Load() }
+
+// TotalAllocs returns the cumulative number of Alloc calls.
+func (p *PhysMem) TotalAllocs() int64 { return p.totalAllocs.Load() }
+
+// MMIOHandler receives 64-bit loads and stores on device-mapped pages.
+// off is the byte offset within the mapped MMIO region.
+type MMIOHandler interface {
+	MMIORead(off uint64) uint64
+	MMIOWrite(off uint64, val uint64)
+}
+
+type mmioRegion struct {
+	base    uint64
+	npages  int
+	handler MMIOHandler
+}
+
+// pte is a page-table entry. Interior levels hold a child table; the leaf
+// level holds a frame and its permissions.
+type pte struct {
+	child *table
+	frame FrameID
+	flags PageFlags
+	leaf  bool
+}
+
+type table struct {
+	entries [1 << levelBits]*pte
+	used    int // number of non-nil entries, for table reclamation
+}
+
+// AddressSpace is one virtual address space backed by 5-level page tables.
+// All mutating operations take the lock; translations are also locked (the
+// per-CPU TLB in front of it keeps the hot path cheap).
+type AddressSpace struct {
+	mu   sync.Mutex
+	root *table
+	phys *PhysMem
+	mmio []mmioRegion
+
+	mapped     int           // currently mapped pages
+	gen        atomic.Uint64 // bumped on unmap/protect: TLB shootdown signal
+	shootdowns atomic.Int64  // number of shootdowns issued
+}
+
+// NewAddressSpace returns an empty address space over phys.
+func NewAddressSpace(phys *PhysMem) *AddressSpace {
+	return &AddressSpace{root: &table{}, phys: phys}
+}
+
+// Phys returns the physical memory this address space maps.
+func (as *AddressSpace) Phys() *PhysMem { return as.phys }
+
+// Generation returns the current shootdown generation. TLBs compare it to
+// decide whether their cached translations are stale.
+func (as *AddressSpace) Generation() uint64 { return as.gen.Load() }
+
+// Shootdowns returns the cumulative number of TLB shootdowns issued by
+// unmap/protect operations (the re-randomization cost §4.3 discusses).
+func (as *AddressSpace) Shootdowns() int64 { return as.shootdowns.Load() }
+
+// MappedPages returns the number of currently mapped pages.
+func (as *AddressSpace) MappedPages() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.mapped
+}
+
+func checkVA(va uint64) error {
+	if va >= MaxVA {
+		return &PageFault{VA: va, Access: AccessRead, Reason: "non-canonical address"}
+	}
+	return nil
+}
+
+// indexes splits a VA into its five level indexes, most significant first.
+func indexes(va uint64) [numLevels]int {
+	var ix [numLevels]int
+	shift := PageShift + levelBits*(numLevels-1)
+	for i := 0; i < numLevels; i++ {
+		ix[i] = int(va>>shift) & (1<<levelBits - 1)
+		shift -= levelBits
+	}
+	return ix
+}
+
+// walk returns the leaf pte for va, or nil. Caller holds as.mu.
+func (as *AddressSpace) walk(va uint64) *pte {
+	t := as.root
+	ix := indexes(va)
+	for i := 0; i < numLevels-1; i++ {
+		e := t.entries[ix[i]]
+		if e == nil || e.child == nil {
+			return nil
+		}
+		t = e.child
+	}
+	e := t.entries[ix[numLevels-1]]
+	if e == nil || !e.leaf {
+		return nil
+	}
+	return e
+}
+
+// Map installs a translation for the page containing va. The address must
+// be page-aligned and not already mapped. W^X is enforced: requesting
+// Write|Exec together is rejected, mirroring the kernel policy Adelie
+// assumes (§2.1: data pages are NX; GOT pages are write-protected).
+func (as *AddressSpace) Map(va uint64, frame FrameID, flags PageFlags) error {
+	if va&PageMask != 0 {
+		return fmt.Errorf("mm: Map: unaligned va %#x", va)
+	}
+	if err := checkVA(va); err != nil {
+		return err
+	}
+	if flags&FlagWrite != 0 && flags&FlagExec != 0 {
+		return fmt.Errorf("mm: Map: W^X violation at %#x", va)
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	t := as.root
+	ix := indexes(va)
+	for i := 0; i < numLevels-1; i++ {
+		e := t.entries[ix[i]]
+		if e == nil {
+			e = &pte{child: &table{}}
+			t.entries[ix[i]] = e
+			t.used++
+		}
+		t = e.child
+	}
+	if t.entries[ix[numLevels-1]] != nil {
+		return fmt.Errorf("mm: Map: va %#x already mapped", va)
+	}
+	t.entries[ix[numLevels-1]] = &pte{frame: frame, flags: flags, leaf: true}
+	t.used++
+	as.mapped++
+	return nil
+}
+
+// Unmap removes the translation for the page containing va and issues a
+// TLB shootdown. It returns the frame that was mapped there; the caller
+// decides whether to free it (zero-copy remapping keeps frames alive while
+// both old and new mappings exist).
+func (as *AddressSpace) Unmap(va uint64) (FrameID, error) {
+	if va&PageMask != 0 {
+		return NoFrame, fmt.Errorf("mm: Unmap: unaligned va %#x", va)
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	t := as.root
+	ix := indexes(va)
+	var path [numLevels - 1]*table
+	for i := 0; i < numLevels-1; i++ {
+		path[i] = t
+		e := t.entries[ix[i]]
+		if e == nil || e.child == nil {
+			return NoFrame, fmt.Errorf("mm: Unmap: va %#x not mapped", va)
+		}
+		t = e.child
+	}
+	e := t.entries[ix[numLevels-1]]
+	if e == nil || !e.leaf {
+		return NoFrame, fmt.Errorf("mm: Unmap: va %#x not mapped", va)
+	}
+	t.entries[ix[numLevels-1]] = nil
+	t.used--
+	as.mapped--
+	// Reclaim now-empty interior tables, bottom-up.
+	for i := numLevels - 2; i >= 0 && t.used == 0; i-- {
+		parent := path[i]
+		parent.entries[ix[i]] = nil
+		parent.used--
+		t = parent
+	}
+	as.gen.Add(1)
+	as.shootdowns.Add(1)
+	return e.frame, nil
+}
+
+// Protect changes the permissions of an already-mapped page (e.g. the
+// loader write-protecting GOT/PLT pages after relocation, §4.1). Issues a
+// TLB shootdown.
+func (as *AddressSpace) Protect(va uint64, flags PageFlags) error {
+	if flags&FlagWrite != 0 && flags&FlagExec != 0 {
+		return fmt.Errorf("mm: Protect: W^X violation at %#x", va)
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	e := as.walk(va &^ PageMask)
+	if e == nil {
+		return fmt.Errorf("mm: Protect: va %#x not mapped", va)
+	}
+	e.flags = flags
+	as.gen.Add(1)
+	as.shootdowns.Add(1)
+	return nil
+}
+
+// Lookup returns the frame and flags mapping the page containing va.
+func (as *AddressSpace) Lookup(va uint64) (FrameID, PageFlags, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	e := as.walk(va &^ PageMask)
+	if e == nil {
+		return NoFrame, 0, false
+	}
+	return e.frame, e.flags, true
+}
+
+// Translate checks permissions and returns the frame for an access at va.
+func (as *AddressSpace) Translate(va uint64, access Access) (FrameID, PageFlags, error) {
+	if err := checkVA(va); err != nil {
+		return NoFrame, 0, err
+	}
+	as.mu.Lock()
+	e := as.walk(va &^ PageMask)
+	as.mu.Unlock()
+	if e == nil {
+		return NoFrame, 0, &PageFault{VA: va, Access: access, Reason: "not mapped"}
+	}
+	if err := checkPerm(va, e.flags, access); err != nil {
+		return NoFrame, 0, err
+	}
+	return e.frame, e.flags, nil
+}
+
+func checkPerm(va uint64, flags PageFlags, access Access) error {
+	switch access {
+	case AccessWrite:
+		if flags&FlagWrite == 0 {
+			return &PageFault{VA: va, Access: access, Reason: "write to read-only page"}
+		}
+	case AccessExec:
+		if flags&FlagExec == 0 {
+			return &PageFault{VA: va, Access: access, Reason: "NX: execute of non-executable page"}
+		}
+		if flags&FlagUser != 0 {
+			// SMAP/SMEP analogue: the simulated kernel never executes
+			// user pages (§2.1: "Adelie assumes this feature is enabled").
+			return &PageFault{VA: va, Access: access, Reason: "SMEP: kernel execution of user page"}
+		}
+	}
+	return nil
+}
+
+// MapRegion allocates npages fresh frames and maps them contiguously at
+// base. It returns the frames so callers can later remap or free them.
+func (as *AddressSpace) MapRegion(base uint64, npages int, flags PageFlags) ([]FrameID, error) {
+	frames := make([]FrameID, 0, npages)
+	for i := 0; i < npages; i++ {
+		f := as.phys.Alloc()
+		if err := as.Map(base+uint64(i)*PageSize, f, flags); err != nil {
+			// Roll back partial work.
+			as.phys.Free(f)
+			for j, g := range frames {
+				if _, uerr := as.Unmap(base + uint64(j)*PageSize); uerr == nil {
+					as.phys.Free(g)
+				}
+			}
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// MapFrames maps existing frames contiguously at base without allocating.
+func (as *AddressSpace) MapFrames(base uint64, frames []FrameID, flags PageFlags) error {
+	for i, f := range frames {
+		if err := as.Map(base+uint64(i)*PageSize, f, flags); err != nil {
+			for j := 0; j < i; j++ {
+				_, _ = as.Unmap(base + uint64(j)*PageSize)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RemapRegion implements the zero-copy move of Fig. 2a: it maps the frames
+// currently backing [oldBase, oldBase+npages*PageSize) at newBase with the
+// same per-page permissions. The old mapping is left untouched — tearing it
+// down is the re-randomizer's job once pending calls drain.
+func (as *AddressSpace) RemapRegion(newBase, oldBase uint64, npages int) error {
+	type pageInfo struct {
+		frame FrameID
+		flags PageFlags
+	}
+	infos := make([]pageInfo, npages)
+	as.mu.Lock()
+	for i := 0; i < npages; i++ {
+		e := as.walk(oldBase + uint64(i)*PageSize)
+		if e == nil {
+			as.mu.Unlock()
+			return fmt.Errorf("mm: RemapRegion: source page %#x not mapped", oldBase+uint64(i)*PageSize)
+		}
+		infos[i] = pageInfo{e.frame, e.flags}
+	}
+	as.mu.Unlock()
+	for i, pi := range infos {
+		if err := as.Map(newBase+uint64(i)*PageSize, pi.frame, pi.flags); err != nil {
+			for j := 0; j < i; j++ {
+				_, _ = as.Unmap(newBase + uint64(j)*PageSize)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// UnmapRegion removes npages translations starting at base. If freeFrames
+// is true the backing frames are returned to the allocator (used when the
+// last mapping of a region dies; zero-copy remaps pass false).
+func (as *AddressSpace) UnmapRegion(base uint64, npages int, freeFrames bool) error {
+	for i := 0; i < npages; i++ {
+		f, err := as.Unmap(base + uint64(i)*PageSize)
+		if err != nil {
+			return err
+		}
+		if freeFrames {
+			as.phys.Free(f)
+		}
+	}
+	return nil
+}
+
+// RegisterMMIO maps npages at base as an MMIO region served by handler.
+// MMIO pages are readable and writable but never executable.
+func (as *AddressSpace) RegisterMMIO(base uint64, npages int, handler MMIOHandler) error {
+	if base&PageMask != 0 {
+		return fmt.Errorf("mm: RegisterMMIO: unaligned base %#x", base)
+	}
+	for i := 0; i < npages; i++ {
+		// MMIO pages get a dedicated dummy frame so translation succeeds.
+		f := as.phys.Alloc()
+		if err := as.Map(base+uint64(i)*PageSize, f, FlagWrite|FlagMMIO); err != nil {
+			return err
+		}
+	}
+	as.mu.Lock()
+	as.mmio = append(as.mmio, mmioRegion{base: base, npages: npages, handler: handler})
+	as.mu.Unlock()
+	return nil
+}
+
+// mmioFor returns the handler and region-relative offset for va, if va
+// falls inside a registered MMIO region.
+func (as *AddressSpace) mmioFor(va uint64) (MMIOHandler, uint64, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, r := range as.mmio {
+		end := r.base + uint64(r.npages)*PageSize
+		if va >= r.base && va < end {
+			return r.handler, va - r.base, true
+		}
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,74 @@
+package mm
+
+// TLB is a per-vCPU translation lookaside buffer. Continuous
+// re-randomization forces page-table updates and therefore TLB flushes
+// (paper §4.3 names this the unavoidable cost of any remapping approach),
+// so the model charges a refill penalty for every miss after a shootdown.
+type TLB struct {
+	as      *AddressSpace
+	entries map[uint64]tlbEntry
+	cap     int
+	gen     uint64 // address-space generation the cached entries belong to
+
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+type tlbEntry struct {
+	frame FrameID
+	flags PageFlags
+}
+
+// DefaultTLBSize approximates a modern L2 STLB (entries, not bytes).
+const DefaultTLBSize = 1536
+
+// NewTLB returns a TLB caching translations of as.
+func NewTLB(as *AddressSpace) *TLB {
+	return &TLB{as: as, entries: make(map[uint64]tlbEntry), cap: DefaultTLBSize}
+}
+
+// Translate resolves va for the given access kind, consulting the cache
+// first. The boolean result reports whether the translation was a hit;
+// callers use it to charge a miss penalty.
+func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, error) {
+	if g := t.as.Generation(); g != t.gen {
+		// A shootdown occurred since we last filled: flush everything.
+		t.Flush()
+		t.gen = g
+	}
+	page := va &^ PageMask
+	if e, ok := t.entries[page]; ok {
+		if err := checkPerm(va, e.flags, access); err != nil {
+			return NoFrame, 0, true, err
+		}
+		t.hits++
+		return e.frame, e.flags, true, nil
+	}
+	t.misses++
+	frame, flags, err := t.as.Translate(va, access)
+	if err != nil {
+		return NoFrame, 0, false, err
+	}
+	if len(t.entries) >= t.cap {
+		// Evict an arbitrary entry; capacity pressure, not recency, is the
+		// effect we need to model.
+		for k := range t.entries {
+			delete(t.entries, k)
+			break
+		}
+	}
+	t.entries[page] = tlbEntry{frame: frame, flags: flags}
+	return frame, flags, false, nil
+}
+
+// Flush drops all cached translations.
+func (t *TLB) Flush() {
+	clear(t.entries)
+	t.flushes++
+}
+
+// Stats returns cumulative hit/miss/flush counts.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}

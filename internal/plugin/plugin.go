@@ -1,0 +1,198 @@
+// Package plugin is the reproduction's analogue of Adelie's GCC plugin
+// (~1400 LoC in the paper): an automatic IR-to-IR transform that converts
+// an ordinary driver module into a re-randomizable one.
+//
+// Per paper §3.4 and Fig. 3, the transform:
+//
+//  1. renames every exported function f to "f.real" (movable, static) and
+//     emits a wrapper named f into .fixed.text (immovable) that brackets
+//     the call with mr_start/mr_finish and optionally swaps to a stack
+//     from the per-CPU pool;
+//  2. injects a return-address encryption prologue and epilogue into every
+//     movable function: the key is loaded from the local GOT (where the
+//     re-randomizer rotates it), XORed over the return slot, and the
+//     scratch register cleared to avoid key leakage. Functions that were
+//     exported use the %r11 variant; static functions recycle %rbp
+//     (paper Fig. 3b, both variants);
+//  3. leaves data relocations that referenced exported functions pointing
+//     at the wrappers (which keep the original names), so static ops
+//     tables handed to the kernel contain immovable addresses only.
+package plugin
+
+import (
+	"fmt"
+
+	"adelie/internal/elfmod"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+)
+
+// RealSuffix is appended to the movable body of a wrapped function.
+const RealSuffix = ".real"
+
+// Kernel helpers the generated code imports. The kernel (and
+// internal/rerand for the stack pair) provide these natives.
+const (
+	SymMrStart        = "mr_start"
+	SymMrFinish       = "mr_finish"
+	SymGetNewStack    = "get_new_stack"
+	SymReturnOldStack = "return_old_stack"
+)
+
+// Options configure the transform. The paper evaluates these as separate
+// mechanisms (Fig. 9 isolates wrapper cost from stack re-randomization
+// cost), so each is independently switchable for ablation.
+type Options struct {
+	Retpoline   bool // compile with retpoline thunks / PLT stubs
+	StackRerand bool // wrappers swap to a pooled stack (Fig. 3b left)
+	RetEncrypt  bool // prologue/epilogue return-address encryption (Fig. 3b right)
+}
+
+// Transform rewrites m in place into re-randomizable form. It is
+// idempotent in effect only for modules not previously transformed;
+// calling it twice is an error.
+func Transform(m *kcc.Module, opts Options) error {
+	for _, f := range m.Funcs {
+		if f.Wrapper || f.InFixedText {
+			return fmt.Errorf("plugin: module %s already transformed", m.Name)
+		}
+	}
+
+	// Pass 1: wrap exported functions.
+	var wrappers []*kcc.Func
+	wasExported := map[string]bool{}
+	for _, f := range m.Funcs {
+		if !f.Export {
+			continue
+		}
+		wasExported[f.Name] = true
+		orig := f.Name
+		f.Name = orig + RealSuffix
+		f.Export = false
+		wrappers = append(wrappers, makeWrapper(orig, opts))
+	}
+	if len(wrappers) == 0 {
+		return fmt.Errorf("plugin: module %s exports no functions to wrap", m.Name)
+	}
+	m.Funcs = append(m.Funcs, wrappers...)
+
+	// Pass 2: prologue/epilogue injection on movable functions.
+	if opts.RetEncrypt {
+		for _, f := range m.Funcs {
+			if f.InFixedText || f.NoInstrument {
+				continue
+			}
+			static := !wasExported[trimReal(f.Name)]
+			injectEncryption(f, static)
+		}
+	}
+
+	// Pass 3: data relocations referencing a wrapped function by its
+	// original name now resolve to the wrapper automatically (it kept the
+	// name). References that explicitly target the movable body keep
+	// working and are slid by the re-randomizer. Nothing to rewrite —
+	// but reject exported writable globals, which would hand the kernel a
+	// movable address the loader cannot keep stable.
+	for _, g := range m.Globals {
+		if g.Export && !g.ReadOnly && g.Init != nil {
+			return fmt.Errorf("plugin: module %s: exported writable global %q must be read-only (immovable) or unexported", m.Name, g.Name)
+		}
+		if g.Export && g.Init == nil {
+			return fmt.Errorf("plugin: module %s: exported .bss global %q not supported in re-randomizable modules", m.Name, g.Name)
+		}
+	}
+	return nil
+}
+
+func trimReal(name string) string {
+	if len(name) > len(RealSuffix) && name[len(name)-len(RealSuffix):] == RealSuffix {
+		return name[:len(name)-len(RealSuffix)]
+	}
+	return name
+}
+
+// makeWrapper emits the immovable wrapper of paper Fig. 3a:
+//
+//	long f(long arg) {
+//	    mr_start();
+//	    get_new_stack();          // if stack re-randomization is on
+//	    long ret = f.real(arg);
+//	    return_old_stack();
+//	    mr_finish();
+//	    return ret;
+//	}
+//
+// Argument registers pass through untouched (up to six register args,
+// §3.4). The return value is stashed in callee-saved %rbx across the
+// helper calls: under retpoline those calls go through PLT stubs that
+// clobber %rax (JMP_NOSPEC's one safe scratch register, paper §4.1
+// footnote), and a stack save would not survive the stack switch.
+func makeWrapper(name string, opts Options) *kcc.Func {
+	var body []kcc.Ins
+	body = append(body, kcc.Push(isa.RBX))
+	body = append(body, kcc.Call(SymMrStart))
+	if opts.StackRerand {
+		body = append(body, kcc.Call(SymGetNewStack))
+	}
+	body = append(body, kcc.Call(name+RealSuffix))
+	body = append(body, kcc.MovReg(isa.RBX, isa.RAX)) // long ret = f.real(...)
+	if opts.StackRerand {
+		body = append(body, kcc.Call(SymReturnOldStack))
+	}
+	body = append(body,
+		kcc.Call(SymMrFinish),
+		kcc.MovReg(isa.RAX, isa.RBX), // return ret
+		kcc.Pop(isa.RBX),
+		kcc.Ret(),
+	)
+	return &kcc.Func{
+		Name: name, Export: true, Body: body,
+		InFixedText: true, NoInstrument: true, Wrapper: true,
+	}
+}
+
+// injectEncryption adds the Fig.-3b prologue/epilogue. The non-static
+// variant uses %r11 as scratch and clears it afterwards; the static
+// variant cannot assume %r11 is free (custom calling conventions), so it
+// recycles %rbp with an extra push/pop.
+func injectEncryption(f *kcc.Func, static bool) {
+	var prologue, epilogue []kcc.Ins
+	if static {
+		prologue = []kcc.Ins{
+			kcc.Push(isa.RBP),
+			kcc.GotLoad(isa.RBP, elfmod.KeySymbol),
+			kcc.XorMem(isa.RSP, 8, isa.RBP), // return slot is above the pushed rbp
+			kcc.Pop(isa.RBP),
+		}
+	} else {
+		prologue = []kcc.Ins{
+			kcc.GotLoad(isa.R11, elfmod.KeySymbol),
+			kcc.XorMem(isa.RSP, 0, isa.R11),
+			kcc.Arith(kcc.OpXor, isa.R11, isa.R11), // avoid key leakage
+		}
+	}
+	epilogue = prologue // the XOR is its own inverse; sequences are identical
+
+	out := make([]kcc.Ins, 0, len(f.Body)+len(prologue)*4)
+	out = append(out, prologue...)
+	for _, in := range f.Body {
+		if in.Kind == kcc.IRet {
+			out = append(out, epilogue...)
+		}
+		out = append(out, in)
+	}
+	f.Body = out
+}
+
+// Build runs the transform and compiles the module as a re-randomizable
+// PIC object — the one-stop entry point drivers use.
+func Build(m *kcc.Module, opts Options) (*elfmod.Object, error) {
+	if err := Transform(m, opts); err != nil {
+		return nil, err
+	}
+	return kcc.Compile(m, kcc.Options{
+		Model:          kcc.ModelPIC,
+		Retpoline:      opts.Retpoline,
+		Rerandomizable: true,
+	})
+}

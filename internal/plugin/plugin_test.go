@@ -1,0 +1,211 @@
+package plugin
+
+import (
+	"strings"
+	"testing"
+
+	"adelie/internal/elfmod"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+)
+
+// driverModule is a miniature driver: one exported entry point, one static
+// helper, a state global and an exported read-only ops table.
+func driverModule() *kcc.Module {
+	m := &kcc.Module{Name: "drv"}
+	m.AddFunc("helper", false,
+		kcc.MovImm(isa.RAX, 5),
+		kcc.Ret(),
+	)
+	m.AddFunc("drv_ioctl", true,
+		kcc.Call("helper"),
+		kcc.GlobalLoad(isa.RBX, "state"),
+		kcc.Arith(kcc.OpAdd, isa.RAX, isa.RBX),
+		kcc.Ret(),
+	)
+	m.AddGlobal(kcc.Global{Name: "state", Size: 8, Init: make([]byte, 8)})
+	m.AddGlobal(kcc.Global{
+		Name: "drv_ops", Size: 8, Init: make([]byte, 8), Export: true, ReadOnly: true,
+		Relocs: []kcc.DataReloc{{Offset: 0, Sym: "drv_ioctl"}},
+	})
+	return m
+}
+
+func TestTransformWrapsExports(t *testing.T) {
+	m := driverModule()
+	if err := Transform(m, Options{StackRerand: true, RetEncrypt: true}); err != nil {
+		t.Fatal(err)
+	}
+	real := m.Func("drv_ioctl" + RealSuffix)
+	if real == nil {
+		t.Fatal("exported function not renamed to .real")
+	}
+	if real.Export {
+		t.Fatal(".real body must become static")
+	}
+	w := m.Func("drv_ioctl")
+	if w == nil || !w.Wrapper || !w.InFixedText || !w.Export || !w.NoInstrument {
+		t.Fatalf("wrapper malformed: %+v", w)
+	}
+	// Wrapper structure: mr_start, get_new_stack, call .real,
+	// return_old_stack, push, mr_finish, pop, ret.
+	var calls []string
+	for _, in := range w.Body {
+		if in.Kind == kcc.ICall {
+			calls = append(calls, in.Sym)
+		}
+	}
+	want := []string{SymMrStart, SymGetNewStack, "drv_ioctl" + RealSuffix, SymReturnOldStack, SymMrFinish}
+	if len(calls) != len(want) {
+		t.Fatalf("wrapper calls %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("wrapper call %d = %s, want %s", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestTransformWithoutStackRerand(t *testing.T) {
+	m := driverModule()
+	if err := Transform(m, Options{RetEncrypt: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range m.Func("drv_ioctl").Body {
+		if in.Kind == kcc.ICall && (in.Sym == SymGetNewStack || in.Sym == SymReturnOldStack) {
+			t.Fatal("stack swap emitted despite StackRerand=false")
+		}
+	}
+}
+
+func TestEncryptionVariants(t *testing.T) {
+	m := driverModule()
+	if err := Transform(m, Options{RetEncrypt: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrapped (originally exported) body uses the %r11 variant.
+	real := m.Func("drv_ioctl" + RealSuffix)
+	if real.Body[0].Kind != kcc.IGotLoad || real.Body[0].Dst != isa.R11 {
+		t.Fatalf("non-static prologue should load key into r11, got %+v", real.Body[0])
+	}
+	if real.Body[1].Kind != kcc.IXorMem || real.Body[1].Off != 0 {
+		t.Fatalf("non-static prologue should xor (rsp), got %+v", real.Body[1])
+	}
+	// r11 must be cleared to avoid key leakage.
+	if real.Body[2].Kind != kcc.IArith || real.Body[2].Op != kcc.OpXor || real.Body[2].Dst != isa.R11 {
+		t.Fatalf("scratch register not cleared: %+v", real.Body[2])
+	}
+	// Static helper uses the %rbp variant with push/pop.
+	h := m.Func("helper")
+	if h.Body[0].Kind != kcc.IPush || h.Body[0].Src != isa.RBP {
+		t.Fatalf("static prologue should push rbp, got %+v", h.Body[0])
+	}
+	if h.Body[1].Kind != kcc.IGotLoad || h.Body[1].Dst != isa.RBP {
+		t.Fatalf("static prologue should load key into rbp, got %+v", h.Body[1])
+	}
+	if h.Body[2].Kind != kcc.IXorMem || h.Body[2].Off != 8 {
+		t.Fatalf("static variant must xor 8(%%rsp) above the pushed rbp, got %+v", h.Body[2])
+	}
+}
+
+func TestEpilogueBeforeEveryRet(t *testing.T) {
+	m := &kcc.Module{Name: "m"}
+	m.AddFunc("multi", true,
+		kcc.CmpImm(isa.RDI, 0),
+		kcc.Br(kcc.CondEQ, "zero"),
+		kcc.MovImm(isa.RAX, 1),
+		kcc.Ret(),
+		kcc.Label("zero"),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Ret(),
+	)
+	if err := Transform(m, Options{RetEncrypt: true}); err != nil {
+		t.Fatal(err)
+	}
+	body := m.Func("multi" + RealSuffix).Body
+	rets, xors := 0, 0
+	for _, in := range body {
+		switch in.Kind {
+		case kcc.IRet:
+			rets++
+		case kcc.IXorMem:
+			xors++
+		}
+	}
+	if rets != 2 {
+		t.Fatalf("rets = %d", rets)
+	}
+	if xors != 3 { // 1 prologue + 2 epilogues
+		t.Fatalf("xor-mem count = %d, want 3 (prologue + one per ret)", xors)
+	}
+}
+
+func TestDoubleTransformRejected(t *testing.T) {
+	m := driverModule()
+	if err := Transform(m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(m, Options{}); err == nil {
+		t.Fatal("second transform accepted")
+	}
+}
+
+func TestNoExportsRejected(t *testing.T) {
+	m := &kcc.Module{Name: "m"}
+	m.AddFunc("quiet", false, kcc.Ret())
+	if err := Transform(m, Options{}); err == nil || !strings.Contains(err.Error(), "no functions") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestExportedWritableGlobalRejected(t *testing.T) {
+	m := driverModule()
+	m.AddGlobal(kcc.Global{Name: "bad", Size: 8, Init: make([]byte, 8), Export: true})
+	if err := Transform(m, Options{}); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuildProducesRerandomizableObject(t *testing.T) {
+	obj, err := Build(driverModule(), Options{Retpoline: true, StackRerand: true, RetEncrypt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Rerandomizable || !obj.PIC || !obj.Retpoline {
+		t.Fatalf("object flags wrong: rerand=%v pic=%v retpoline=%v",
+			obj.Rerandomizable, obj.PIC, obj.Retpoline)
+	}
+	// .fixed.text must exist and contain the wrapper.
+	if _, sec := obj.SectionOf(elfmod.SecFixedText); sec == nil {
+		t.Fatal("no .fixed.text section")
+	}
+	s, ok := obj.Lookup("drv_ioctl")
+	if !ok || !s.Wrapper {
+		t.Fatal("wrapper symbol missing or unflagged")
+	}
+	// Key accesses must reference the key pseudo-symbol.
+	found := false
+	for _, u := range obj.Undefineds() {
+		if u == elfmod.KeySymbol {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("key pseudo-symbol not imported")
+	}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithoutEncryptionHasNoKeyImport(t *testing.T) {
+	obj, err := Build(driverModule(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range obj.Undefineds() {
+		if u == elfmod.KeySymbol {
+			t.Fatal("key imported despite RetEncrypt=false")
+		}
+	}
+}

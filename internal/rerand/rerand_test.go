@@ -1,0 +1,294 @@
+package rerand
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+	"adelie/internal/plugin"
+)
+
+// counterDriver is a small driver whose exported entry increments and
+// returns a counter — observable state across re-randomizations.
+func counterDriver() *kcc.Module {
+	m := &kcc.Module{Name: "ctr"}
+	m.AddFunc("bump_helper", false,
+		kcc.ArithImm(kcc.OpAdd, isa.RAX, 1),
+		kcc.Ret(),
+	)
+	m.AddFunc("ctr_ioctl", true,
+		kcc.GlobalLoad(isa.RAX, "count"),
+		kcc.Call("bump_helper"),
+		kcc.GlobalStore("count", isa.RAX),
+		kcc.Ret(),
+	)
+	m.AddGlobal(kcc.Global{Name: "count", Size: 8, Init: make([]byte, 8)})
+	return m
+}
+
+// setup boots a kernel, creates the randomizer, builds and loads the
+// driver with the given plugin options, and registers it.
+func setup(t *testing.T, opts plugin.Options) (*kernel.Kernel, *Randomizer, *kernel.Module, uint64) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{NumCPUs: 4, Seed: 99, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(k)
+	obj, err := plugin.Build(counterDriver(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(mod); err != nil {
+		t.Fatal(err)
+	}
+	va, ok := k.Symbol("ctr_ioctl")
+	if !ok {
+		t.Fatal("ctr_ioctl not exported")
+	}
+	return k, r, mod, va
+}
+
+func allOptionCombos() map[string]plugin.Options {
+	return map[string]plugin.Options{
+		"plain":         {},
+		"retpoline":     {Retpoline: true},
+		"stack":         {StackRerand: true},
+		"encrypt":       {RetEncrypt: true},
+		"stack+encrypt": {StackRerand: true, RetEncrypt: true},
+		"full":          {Retpoline: true, StackRerand: true, RetEncrypt: true},
+	}
+}
+
+func TestEndToEndAcrossRerandomization(t *testing.T) {
+	for name, opts := range allOptionCombos() {
+		t.Run(name, func(t *testing.T) {
+			k, r, mod, va := setup(t, opts)
+			c := k.CPU(0)
+			want := uint64(0)
+			for round := 0; round < 8; round++ {
+				for i := 0; i < 3; i++ {
+					got, err := c.Call(va)
+					if err != nil {
+						t.Fatalf("round %d call %d: %v", round, i, err)
+					}
+					want++
+					if got != want {
+						t.Fatalf("round %d: counter = %d, want %d", round, got, want)
+					}
+				}
+				base := mod.Base()
+				rep, err := r.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.ModulesMoved != 1 || mod.Base() == base {
+					t.Fatalf("round %d: module did not move (rep %+v)", round, rep)
+				}
+			}
+			// With no pending calls everything drains.
+			k.SMR.Flush()
+			if d := k.SMR.Stats().Delta(); d != 0 {
+				t.Fatalf("SMR delta = %d after drain", d)
+			}
+		})
+	}
+}
+
+func TestStackSwapHappens(t *testing.T) {
+	k, r, _, va := setup(t, plugin.Options{StackRerand: true})
+	c := k.CPU(0)
+	if _, err := c.Call(va); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Pool.Stats()
+	if st.Gets != 1 || st.Puts != 1 || st.Allocs != 1 {
+		t.Fatalf("pool stats = %+v; wrapper did not swap stacks", st)
+	}
+	// Second call reuses the pooled stack.
+	if _, err := c.Call(va); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Pool.Stats(); st.Allocs != 1 {
+		t.Fatalf("allocs = %d, want 1 (LIFO reuse)", st.Allocs)
+	}
+	// After a step, the old stack is retired and freed once safe.
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	k.SMR.Flush()
+	if st := r.Pool.Stats(); st.Frees != 1 {
+		t.Fatalf("frees = %d, want 1 after swap+drain", st.Frees)
+	}
+}
+
+func TestPendingCallSurvivesRerandomization(t *testing.T) {
+	// Simulates a call that was in flight when the randomizer fired: the
+	// old mapping (code, GOT, key) must remain fully functional until the
+	// call completes. We freeze the old movable entry address, step the
+	// randomizer under an SMR pin, and invoke the old address directly.
+	k, r, mod, _ := setup(t, plugin.Options{RetEncrypt: true})
+	sym, ok := mod.Obj.Lookup("ctr_ioctl" + plugin.RealSuffix)
+	if !ok {
+		t.Fatal("real body symbol missing")
+	}
+	secVA, ok := mod.Movable.SectionVA(sym.Section)
+	if !ok {
+		t.Fatal("movable text VA unknown")
+	}
+	oldEntry := secVA + sym.Offset
+
+	k.SMR.Enter(2) // pin: a pending call is "inside" the module
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Old code path still executes — with the old key in the old GOT.
+	c := k.CPU(0)
+	got, err := c.Call(oldEntry)
+	if err != nil {
+		t.Fatalf("pending-call path through old mapping failed: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("old-mapping call = %d, want 1", got)
+	}
+	k.SMR.Leave(2)
+	k.SMR.Flush()
+	// Now the old mapping is gone; the same address must fault.
+	if _, err := c.Call(oldEntry); err == nil {
+		t.Fatal("old mapping still executable after drain")
+	}
+}
+
+func TestObsoleteAddressesBecomeUseless(t *testing.T) {
+	// §6: hijacked addresses go stale within one period. After a step and
+	// drain, every page of the old range is unmapped.
+	k, r, mod, _ := setup(t, plugin.Options{})
+	oldBase := mod.Base()
+	pages := mod.Movable.Pages
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	k.SMR.Flush()
+	for pg := 0; pg < pages; pg++ {
+		if _, _, ok := k.AS.Lookup(oldBase + uint64(pg)*4096); ok {
+			t.Fatalf("old page %d still mapped", pg)
+		}
+	}
+}
+
+func TestKeyRotatesEveryStep(t *testing.T) {
+	k, r, mod, _ := setup(t, plugin.Options{RetEncrypt: true})
+	_ = k
+	seen := map[uint64]bool{mod.Key(): true}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		key := mod.Key()
+		if seen[key] {
+			t.Fatalf("key repeated at step %d", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestStepReportCosts(t *testing.T) {
+	_, r, _, _ := setup(t, plugin.Options{StackRerand: true})
+	rep, err := r.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesRemapped == 0 || rep.GotEntries == 0 || rep.Cycles == 0 {
+		t.Fatalf("empty step report: %+v", rep)
+	}
+	want := uint64(rep.ModulesMoved)*CostBase + rep.PagesRemapped*CostPerPage +
+		rep.GotEntries*CostPerEntry + uint64(rep.StacksRetired)*CostPerStack
+	if rep.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", rep.Cycles, want)
+	}
+}
+
+func TestAddRejectsPlainModules(t *testing.T) {
+	k, err := kernel.New(kernel.Config{NumCPUs: 2, Seed: 1, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(k)
+	m := &kcc.Module{Name: "plain"}
+	m.AddFunc("f", true, kcc.Ret())
+	obj, err := kcc.Compile(m, kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(mod); err == nil {
+		t.Fatal("plain module accepted by randomizer")
+	}
+}
+
+func TestLogDmesgFormat(t *testing.T) {
+	k, r, _, va := setup(t, plugin.Options{StackRerand: true})
+	if _, err := k.CPU(0).Call(va); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	r.LogDmesg()
+	log := strings.Join(k.Dmesg(), "\n")
+	for _, want := range []string{"Randomized 1 times", "SMR Retire:", "Stack Alloc:", "Stack Delta:"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("dmesg missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestRunTicker(t *testing.T) {
+	_, r, mod, _ := setup(t, plugin.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	err := r.Run(ctx, 5*time.Millisecond)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Run returned %v", err)
+	}
+	if mod.Rerandomizations == 0 {
+		t.Fatal("ticker never stepped")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	k, err := kernel.New(kernel.Config{NumCPUs: 4, Seed: 5, KASLR: kernel.KASLRFull64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(k)
+	obj, err := plugin.Build(counterDriver(), plugin.Options{Retpoline: true, StackRerand: true, RetEncrypt: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := k.Load(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Add(mod); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+		k.SMR.Flush()
+	}
+}

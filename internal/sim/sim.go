@@ -1,0 +1,274 @@
+// Package sim assembles the full testbed of Table 1 in simulation: a
+// 20-vCPU kernel at a nominal 2.2 GHz (the Xeon Silver 4114), an NVMe
+// controller, a pair of back-to-back NICs (server + load generator), an
+// xHCI controller, the driver suite, and the re-randomizer.
+//
+// Its Run method is the measurement harness every figure uses: it
+// executes operations on a vCPU (interpreting the real driver code paths,
+// so wrapper/prologue/retpoline/GOT costs and post-remap TLB misses are
+// all physically incurred), advances a deterministic virtual clock,
+// fires the re-randomizer at its configured period on that clock, and
+// reports throughput and all-core CPU usage the way §5 does.
+package sim
+
+import (
+	"fmt"
+
+	"adelie/internal/cpu"
+	"adelie/internal/devices"
+	"adelie/internal/drivers"
+	"adelie/internal/kernel"
+	"adelie/internal/mm"
+	"adelie/internal/rerand"
+)
+
+// CPUHz is the nominal clock of the simulated testbed (Table 1).
+const CPUHz = 2.2e9
+
+// MMIO window bases (inside the kernel half, away from other regions).
+const (
+	mmioNVMe = mm.KernelBase + 0x7_0000_0000
+	mmioNIC0 = mm.KernelBase + 0x7_0001_0000
+	mmioNIC1 = mm.KernelBase + 0x7_0002_0000
+	mmioXHCI = mm.KernelBase + 0x7_0003_0000
+)
+
+// Config configures a machine.
+type Config struct {
+	NumCPUs int   // default 20 (Table 1 server)
+	Seed    int64 // determinism knob
+	KASLR   kernel.KASLRMode
+}
+
+// Machine is the assembled testbed.
+type Machine struct {
+	K    *kernel.Kernel
+	R    *rerand.Randomizer
+	NVMe *devices.NVMe
+	NIC  *devices.NIC // server-side adapter
+	Peer *devices.NIC // load-generator adapter
+	XHCI *devices.XHCI
+
+	mods map[string]*kernel.Module
+}
+
+// NewMachine boots the testbed.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.NumCPUs == 0 {
+		cfg.NumCPUs = 20
+	}
+	k, err := kernel.New(kernel.Config{NumCPUs: cfg.NumCPUs, Seed: cfg.Seed, KASLR: cfg.KASLR})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{K: k, R: rerand.New(k), mods: map[string]*kernel.Module{}}
+
+	m.NVMe = devices.NewNVMe(k.AS)
+	if err := k.AS.RegisterMMIO(mmioNVMe, 1, m.NVMe); err != nil {
+		return nil, err
+	}
+	m.NIC = devices.NewNIC(k.AS)
+	if err := k.AS.RegisterMMIO(mmioNIC0, 1, m.NIC); err != nil {
+		return nil, err
+	}
+	m.Peer = devices.NewNIC(k.AS)
+	if err := k.AS.RegisterMMIO(mmioNIC1, 1, m.Peer); err != nil {
+		return nil, err
+	}
+	devices.Connect(m.NIC, m.Peer)
+	m.XHCI = devices.NewXHCI()
+	if err := k.AS.RegisterMMIO(mmioXHCI, 1, m.XHCI); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadDriver builds, loads and (if re-randomizable) registers a driver.
+func (m *Machine) LoadDriver(name string, o drivers.BuildOpts) (*kernel.Module, error) {
+	mk, ok := drivers.All()[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown driver %q", name)
+	}
+	obj, err := drivers.Build(mk(), o)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := m.K.Load(obj)
+	if err != nil {
+		return nil, err
+	}
+	if o.Rerand {
+		if err := m.R.Add(mod); err != nil {
+			return nil, err
+		}
+	}
+	m.mods[name] = mod
+	return mod, nil
+}
+
+// Call invokes an exported driver symbol on vCPU 0.
+func (m *Machine) Call(sym string, args ...uint64) (uint64, error) {
+	va, ok := m.K.Symbol(sym)
+	if !ok {
+		return 0, fmt.Errorf("sim: symbol %q not exported", sym)
+	}
+	return m.K.CPU(0).Call(va, args...)
+}
+
+// InitNVMe allocates submission/completion queues and initializes the
+// loaded NVMe driver against the controller.
+func (m *Machine) InitNVMe() error {
+	sq, err := m.K.Kmalloc(32 * 16)
+	if err != nil {
+		return err
+	}
+	cq, err := m.K.Kmalloc(16 * 16)
+	if err != nil {
+		return err
+	}
+	_, err = m.Call("nvme_init", mmioNVMe, sq, cq)
+	return err
+}
+
+// InitNIC allocates descriptor rings and RX buffers for one of the NIC
+// driver variants (prefix "e1000e", "e1000" or "ena") and initializes it.
+// It returns the ring length used.
+func (m *Machine) InitNIC(prefix string) (uint64, error) {
+	const ringLen = 64
+	tx, err := m.K.Kmalloc(ringLen * 16)
+	if err != nil {
+		return 0, err
+	}
+	rx, err := m.K.Kmalloc(ringLen * 16)
+	if err != nil {
+		return 0, err
+	}
+	// Pre-post RX buffers.
+	for i := uint64(0); i < ringLen; i++ {
+		buf, err := m.K.Kmalloc(2048)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.K.AS.Write64(rx+i*16, buf); err != nil {
+			return 0, err
+		}
+	}
+	_, err = m.Call(prefix+"_init", mmioNIC0, tx, rx, ringLen)
+	return ringLen, err
+}
+
+// InitXHCI initializes the xHCI driver.
+func (m *Machine) InitXHCI() error {
+	_, err := m.Call("xhci_init", mmioXHCI)
+	return err
+}
+
+// Module returns a loaded driver module.
+func (m *Machine) Module(name string) *kernel.Module { return m.mods[name] }
+
+// OpFunc executes one benchmark operation on the vCPU, returning the
+// device wait in cycles (time the CPU is idle on I/O) and any fault.
+type OpFunc func(c *cpu.CPU) (waitCycles uint64, err error)
+
+// RunConfig parameterizes a measurement.
+type RunConfig struct {
+	Ops            int     // operations to execute (sampled ops = all)
+	Workers        int     // concurrent clients (Figs. 7/8 sweeps)
+	RerandPeriodUs float64 // re-randomization period; 0 = disabled
+	SyscallCycles  uint64  // fixed kernel entry/exit + core-kernel path cost per op
+	BytesPerOp     float64 // payload size (for MB/s and the wire cap)
+	WireBps        float64 // wire bandwidth cap; 0 = none
+}
+
+// RunResult is one measured configuration — a point on a §5 figure.
+type RunResult struct {
+	OpsPerSec    float64
+	MBPerSec     float64
+	CPUUsagePct  float64 // across all vCPUs, as the paper reports
+	AvgOpMicros  float64
+	ElapsedSec   float64
+	BusyCycles   uint64 // interpreted + charged kernel cycles
+	WaitCycles   uint64 // device wait
+	RerandCycles uint64 // randomizer thread work
+	RerandSteps  int
+}
+
+// Run executes cfg.Ops operations, interleaving re-randomizer steps on
+// the virtual clock, and derives the figure-level metrics.
+//
+// Concurrency model (closed queueing, first-order): each of the Workers
+// clients issues its next operation as soon as the previous completes.
+// An operation holds a CPU for its busy portion and overlaps its device /
+// client-round-trip wait with other workers. The sustainable rate is the
+// minimum of three ceilings:
+//
+//	workers/latency   — Little's law over the closed population,
+//	(N-1)/busy        — CPU capacity (one core's headroom reserved),
+//	wire/bytesPerOp   — link bandwidth.
+//
+// This is what produces the paper's curves: throughput rising with
+// concurrency until either the wire (Figs. 7/8) or the CPUs saturate.
+func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	c := m.K.CPU(0)
+	ncpu := m.K.NumCPUs()
+
+	var res RunResult
+	var elapsedUs float64
+	nextRerand := cfg.RerandPeriodUs
+
+	for i := 0; i < cfg.Ops; i++ {
+		before := c.Cycles
+		wait, err := op(c)
+		if err != nil {
+			return res, fmt.Errorf("sim: op %d: %w", i, err)
+		}
+		busy := c.Cycles - before + cfg.SyscallCycles
+		res.BusyCycles += busy
+		res.WaitCycles += wait
+
+		busyUs := float64(busy) / CPUHz * 1e6
+		latencyUs := float64(busy+wait) / CPUHz * 1e6
+		ratePerUs := float64(cfg.Workers) / latencyUs
+		if busyUs > 0 {
+			if cpuRate := float64(ncpu-1) / busyUs; cpuRate < ratePerUs {
+				ratePerUs = cpuRate
+			}
+		}
+		if cfg.WireBps > 0 && cfg.BytesPerOp > 0 {
+			if wireRate := cfg.WireBps / cfg.BytesPerOp / 1e6; wireRate < ratePerUs {
+				ratePerUs = wireRate
+			}
+		}
+		elapsedUs += 1 / ratePerUs
+
+		for cfg.RerandPeriodUs > 0 && elapsedUs >= nextRerand {
+			rep, err := m.R.Step()
+			if err != nil {
+				return res, err
+			}
+			res.RerandCycles += rep.Cycles
+			res.RerandSteps++
+			nextRerand += cfg.RerandPeriodUs
+		}
+	}
+
+	res.ElapsedSec = elapsedUs / 1e6
+	if res.ElapsedSec > 0 {
+		res.OpsPerSec = float64(cfg.Ops) / res.ElapsedSec
+		res.MBPerSec = res.OpsPerSec * cfg.BytesPerOp / 1e6
+	}
+	res.AvgOpMicros = elapsedUs / float64(cfg.Ops)
+	totalCycles := float64(ncpu) * res.ElapsedSec * CPUHz
+	if totalCycles > 0 {
+		// Worker busy time is per-op busy × ops (all workers included:
+		// each op's busy cycles were executed once on some core).
+		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles)) / totalCycles * 100
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+// Package smr provides the safe-memory-reclamation schemes Adelie uses to
+// delay unmapping of old module address ranges until all pending calls
+// complete (paper §3.4, "Controlling Address Space Lifetime").
+//
+// The paper's terminology maps onto this package as:
+//
+//	mr_start  → Reclaimer.Enter(slot)
+//	mr_finish → Reclaimer.Leave(slot)
+//	mr_retire → Reclaimer.Retire(free)
+//
+// where slot is a per-CPU identifier. Three schemes are provided:
+//
+//   - Hyaline [Nikolaev & Ravindran, PODC'19 / PLDI'21]: the scheme Adelie
+//     adopts. Reclamation is driven by readers as they leave their critical
+//     sections; no epoch advancement or scheduler cooperation is needed,
+//     which is what makes it "context-agnostic" and easy to drop into a
+//     kernel (paper §3.4).
+//   - EBR: classic three-epoch reclamation [Fraser'04], the comparison
+//     point the paper cites.
+//   - QSBR: quiescent-state-based reclamation, what CodeArmor uses; it
+//     needs explicit quiescence announcements, which is exactly the
+//     integration burden Adelie avoids.
+//
+// All three guarantee: a block retired while reader R is inside a critical
+// section it entered before the retirement is not freed until R leaves.
+package smr
+
+import "sync/atomic"
+
+// Reclaimer is the common interface of the reclamation schemes.
+//
+// Slots identify the executing CPU (or thread); Enter/Leave may nest.
+// Retire hands over a block whose free function runs once no pending
+// critical section can still observe it. Free functions may run on the
+// retiring goroutine or inside a later Leave/Flush — they must not call
+// back into the Reclaimer.
+type Reclaimer interface {
+	// Enter marks the start of a critical section on slot (mr_start).
+	Enter(slot int)
+	// Leave marks the end of a critical section on slot (mr_finish).
+	Leave(slot int)
+	// Retire schedules free to run after all current critical sections
+	// end (mr_retire).
+	Retire(free func())
+	// Flush attempts to reclaim everything that is already safe.
+	Flush()
+	// Stats returns cumulative retire/free counters.
+	Stats() Stats
+	// Name identifies the scheme ("hyaline", "ebr", "qsbr").
+	Name() string
+}
+
+// Stats mirrors the counters Adelie's randomizer kthread logs via dmesg
+// ("SMR Retire", "SMR Free", "SMR Delta" in the artifact appendix).
+type Stats struct {
+	Retired int64 // blocks handed to Retire
+	Freed   int64 // blocks whose free function has run
+}
+
+// Delta returns Retired - Freed: blocks still awaiting reclamation.
+func (s Stats) Delta() int64 { return s.Retired - s.Freed }
+
+type counters struct {
+	retired atomic.Int64
+	freed   atomic.Int64
+}
+
+func (c *counters) stats() Stats {
+	return Stats{Retired: c.retired.Load(), Freed: c.freed.Load()}
+}
+
+// Guard is a convenience for bracketing a critical section:
+//
+//	defer smr.Guarded(r, cpu)()
+func Guarded(r Reclaimer, slot int) func() {
+	r.Enter(slot)
+	return func() { r.Leave(slot) }
+}

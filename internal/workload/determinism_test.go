@@ -1,0 +1,98 @@
+package workload
+
+import "testing"
+
+// Determinism tests: every experiment must reproduce bit-identically
+// under its fixed seed, which is what makes EXPERIMENTS.md's recorded
+// numbers verifiable.
+
+func TestDDDeterministic(t *testing.T) {
+	a, err := DD(CfgPICRet, 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DD(CfgPICRet, 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("DD not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNVMeDeterministic(t *testing.T) {
+	a, err := NVMeDirectRead(Period1ms, false, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NVMeDirectRead(Period1ms, false, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("NVMe not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestOLTPDeterministic(t *testing.T) {
+	a, err := OLTP(Period5ms, false, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OLTP(Period5ms, false, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("OLTP not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestIoctlDeterministic(t *testing.T) {
+	a, err := Ioctl("wrappers+stack", CfgRerandStack, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ioctl("wrappers+stack", CfgRerandStack, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Ioctl not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGadgetDistributionDeterministic(t *testing.T) {
+	a, err := GadgetDistribution(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GadgetDistribution(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Population != b[i].Population || a[i].Dist.Total() != b[i].Dist.Total() {
+			t.Fatalf("gadget distribution not deterministic at row %d", i)
+		}
+		for c, n := range a[i].Dist {
+			if b[i].Dist[c] != n {
+				t.Fatalf("class %s differs: %d vs %d", c, n, b[i].Dist[c])
+			}
+		}
+	}
+}
+
+func TestScalabilityDeterministic(t *testing.T) {
+	a, err := Scalability([]int{10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scalability([]int{10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("scalability not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"adelie/internal/attack"
+	"adelie/internal/cpu"
+	"adelie/internal/drivers"
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+	"adelie/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 5a — module memory footprint, PIC vs non-PIC.
+
+// SizeRow is one bar pair of Fig. 5a.
+type SizeRow struct {
+	Module       string
+	VanillaBytes uint64
+	PICBytes     uint64 // PIC + retpoline, as the paper presents
+}
+
+// ModuleSizes builds the driver suite plus a sample of the synthetic
+// corpus under both code models, loads each into a kernel, and reports
+// loaded content sizes (sections + GOT slots + PLT stubs) — the memory
+// footprint Fig. 5a compares. Non-PIC modules carry no GOT/PLT; the PIC
+// build's overhead is the table entries and stubs the loader creates.
+func ModuleSizes(extraSynthetic int) ([]SizeRow, error) {
+	var rows []SizeRow
+	mods := map[string]func() *kcc.Module{}
+	for n, mk := range drivers.All() {
+		mods[n] = mk
+	}
+	synth := attack.GenerateCorpus(17, extraSynthetic, attack.DefaultCorpus)
+	for _, s := range synth {
+		s := s
+		mods[s.Name] = func() *kcc.Module { return s }
+	}
+	names := make([]string, 0, len(mods))
+	for n := range mods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	loadedSize := func(mk func() *kcc.Module, o drivers.BuildOpts, mode kernel.KASLRMode) (uint64, error) {
+		obj, err := drivers.Build(mk(), o)
+		if err != nil {
+			return 0, err
+		}
+		k, err := kernel.New(kernel.Config{NumCPUs: 1, Seed: 5, KASLR: mode})
+		if err != nil {
+			return 0, err
+		}
+		mod, err := k.Load(obj)
+		if err != nil {
+			return 0, err
+		}
+		return mod.ContentSize(), nil
+	}
+	for _, n := range names {
+		plain, err := loadedSize(mods[n], drivers.BuildOpts{}, kernel.KASLRVanilla)
+		if err != nil {
+			return nil, err
+		}
+		pic, err := loadedSize(mods[n], drivers.BuildOpts{PIC: true, Retpoline: true}, kernel.KASLRFull64)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizeRow{Module: n, VanillaBytes: plain, PICBytes: pic})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5b — dd buffer-cache read microbenchmark.
+
+// DDRow is one point of Fig. 5b.
+type DDRow struct {
+	Config  Config
+	BlockKB int
+	MBps    float64
+}
+
+// DDBlockSizesKB is the sweep of Fig. 5b.
+var DDBlockSizesKB = []int{4, 16, 64, 256, 1024}
+
+// PICConfigs are the four §5.1 configurations.
+var PICConfigs = []Config{CfgVanilla, CfgVanillaRet, CfgPIC, CfgPICRet}
+
+// DD runs the cached-read microbenchmark: reads hit the buffer cache
+// (CPU-bound, §5.1), with the ext4 module's get_block on the per-page
+// path — where PIC and retpoline costs live.
+func DD(cfg Config, blockKB, ops int) (DDRow, error) {
+	m, err := newMachine(cfg, 301, "ext4")
+	if err != nil {
+		return DDRow{}, err
+	}
+	getBlock, err := callVA(m, "ext4_get_block")
+	if err != nil {
+		return DDRow{}, err
+	}
+	pages := blockKB / 4
+	if pages == 0 {
+		pages = 1
+	}
+	var blk uint64
+	op := func(c *cpu.CPU) (uint64, error) {
+		for p := 0; p < pages; p++ {
+			if _, err := c.Call(getBlock, 1, blk%4096); err != nil {
+				return 0, err
+			}
+			burn(c, PageCopyCost)
+			blk++
+		}
+		return 0, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: ops, Workers: 1, SyscallCycles: syscallCost(cfg),
+		BytesPerOp: float64(blockKB) * 1024,
+	}, op)
+	if err != nil {
+		return DDRow{}, err
+	}
+	return DDRow{Config: cfg, BlockKB: blockKB, MBps: res.MBPerSec}, nil
+}
+
+// DDSweep runs the full Fig. 5b grid.
+func DDSweep(ops int) ([]DDRow, error) {
+	var rows []DDRow
+	for _, cfg := range PICConfigs {
+		for _, bs := range DDBlockSizesKB {
+			r, err := DD(cfg, bs, ops)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5c — sysbench file_io, cached random/sequential reads.
+
+// SysbenchRow is one bar of Fig. 5c.
+type SysbenchRow struct {
+	Config Config
+	Mode   string // "rndrd" or "seqrd"
+	MBps   float64
+}
+
+// Sysbench measures cached file_io throughput. Random reads pay an extra
+// per-op block lookup and worse locality (modelled as an additional
+// get_block call), matching sysbench's rndrd/seqrd split.
+func Sysbench(cfg Config, mode string, ops int) (SysbenchRow, error) {
+	m, err := newMachine(cfg, 302, "ext4")
+	if err != nil {
+		return SysbenchRow{}, err
+	}
+	getBlock, err := callVA(m, "ext4_get_block")
+	if err != nil {
+		return SysbenchRow{}, err
+	}
+	rng := rand.New(rand.NewSource(77))
+	const ioBytes = 16 * 1024
+	var seq uint64
+	op := func(c *cpu.CPU) (uint64, error) {
+		lookups := 4 // 16 KB = 4 pages
+		if mode == "rndrd" {
+			lookups++ // extent lookup restarts on a random offset
+		}
+		for i := 0; i < lookups; i++ {
+			blk := seq
+			if mode == "rndrd" {
+				blk = uint64(rng.Intn(4096))
+			}
+			if _, err := c.Call(getBlock, 1, blk); err != nil {
+				return 0, err
+			}
+			burn(c, PageCopyCost)
+			seq++
+		}
+		return 0, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: ops, Workers: 4, SyscallCycles: syscallCost(cfg),
+		BytesPerOp: ioBytes,
+	}, op)
+	if err != nil {
+		return SysbenchRow{}, err
+	}
+	return SysbenchRow{Config: cfg, Mode: mode, MBps: res.MBPerSec}, nil
+}
+
+// SysbenchSweep runs the Fig. 5c grid.
+func SysbenchSweep(ops int) ([]SysbenchRow, error) {
+	var rows []SysbenchRow
+	for _, cfg := range PICConfigs {
+		for _, mode := range []string{"seqrd", "rndrd"} {
+			r, err := Sysbench(cfg, mode, ops)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5d — kernbench: kernel-space time of a compile-like syscall mix.
+
+// KernbenchRow is one bar of Fig. 5d.
+type KernbenchRow struct {
+	Config      Config
+	Concurrency int
+	KernelSec   float64 // time spent in kernel space for the fixed job count
+}
+
+// KernbenchConcurrency levels: half, optimal and double the core count
+// (kernbench's -o/-h convention).
+var KernbenchConcurrency = []int{10, 20, 40}
+
+// Kernbench executes a fixed number of compile-like jobs, each a burst of
+// syscalls (opens, cached reads, allocations) with module code on the
+// path, and reports kernel-space seconds.
+func Kernbench(cfg Config, concurrency, jobs int) (KernbenchRow, error) {
+	m, err := newMachine(cfg, 303, "ext4", "fuse")
+	if err != nil {
+		return KernbenchRow{}, err
+	}
+	getBlock, err := callVA(m, "ext4_get_block")
+	if err != nil {
+		return KernbenchRow{}, err
+	}
+	dispatch, err := callVA(m, "fuse_dispatch")
+	if err != nil {
+		return KernbenchRow{}, err
+	}
+	op := func(c *cpu.CPU) (uint64, error) {
+		// One compilation unit: ~40 source reads + header lookups.
+		for i := 0; i < 40; i++ {
+			if _, err := c.Call(getBlock, 2, uint64(i)); err != nil {
+				return 0, err
+			}
+			burn(c, CompileOpCost)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := c.Call(dispatch, 1); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: jobs, Workers: concurrency, SyscallCycles: syscallCost(cfg) * 46,
+	}, op)
+	if err != nil {
+		return KernbenchRow{}, err
+	}
+	kernelSec := float64(res.BusyCycles) / sim.CPUHz
+	return KernbenchRow{Config: cfg, Concurrency: concurrency, KernelSec: kernelSec}, nil
+}
+
+// KernbenchSweep runs the Fig. 5d grid.
+func KernbenchSweep(jobs int) ([]KernbenchRow, error) {
+	var rows []KernbenchRow
+	for _, cfg := range PICConfigs {
+		for _, conc := range KernbenchConcurrency {
+			r, err := Kernbench(cfg, conc, jobs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,411 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adelie/internal/cpu"
+	"adelie/internal/devices"
+	"adelie/internal/sim"
+)
+
+// RerandPeriod labels the re-randomization settings of §5.2.
+type RerandPeriod struct {
+	Label    string
+	PeriodUs float64 // 0 = disabled
+}
+
+// Periods used across Figs. 6–8 (1 ms, 5 ms, 20 ms, plus vanilla).
+var (
+	PeriodOff  = RerandPeriod{"linux", 0}
+	PeriodNone = RerandPeriod{"no-rerand", 0}
+	Period20ms = RerandPeriod{"20 ms", 20_000}
+	Period5ms  = RerandPeriod{"5 ms", 5_000}
+	Period1ms  = RerandPeriod{"1 ms", 1_000}
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — NVMe O_DIRECT read throughput under re-randomization.
+
+// NVMeRow is one bar pair of Fig. 6.
+type NVMeRow struct {
+	Period    string
+	MBps      float64
+	IOPS      float64
+	CPUPct    float64
+	RerandPct float64 // randomizer thread share of all cores
+}
+
+// NVMeDirectRead reproduces the §5.2 NVMe experiment: the same 512-byte
+// block is read through the driver in a tight loop with O_DIRECT/O_SYNC
+// semantics, hitting the controller's DRAM cache to minimize I/O wait.
+// vanilla=true runs the non-rerandomizable (plain Linux) driver build.
+func NVMeDirectRead(period RerandPeriod, vanilla bool, ops int) (NVMeRow, error) {
+	cfg := CfgRerandStack
+	if vanilla {
+		cfg = CfgVanillaRet
+	}
+	m, err := newMachine(cfg, 601, "nvme")
+	if err != nil {
+		return NVMeRow{}, err
+	}
+	if err := m.InitNVMe(); err != nil {
+		return NVMeRow{}, err
+	}
+	m.NVMe.Preload(5, []byte("fig6 block"))
+	buf, err := m.K.Kmalloc(512)
+	if err != nil {
+		return NVMeRow{}, err
+	}
+	readVA, err := callVA(m, "nvme_read")
+	if err != nil {
+		return NVMeRow{}, err
+	}
+	// Warm the controller cache so the loop measures the DRAM-hit path.
+	if _, err := m.K.CPU(0).Call(readVA, buf, 5, 512); err != nil {
+		return NVMeRow{}, err
+	}
+	op := func(c *cpu.CPU) (uint64, error) {
+		lat, err := c.Call(readVA, buf, 5, 512)
+		if err != nil {
+			return 0, err
+		}
+		if lat == 0 {
+			return 0, fmt.Errorf("nvme read failed")
+		}
+		return lat, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: ops, Workers: 1, SyscallCycles: SyscallEntry,
+		BytesPerOp: 512, RerandPeriodUs: period.PeriodUs,
+	}, op)
+	if err != nil {
+		return NVMeRow{}, err
+	}
+	return NVMeRow{
+		Period: period.Label, MBps: res.MBPerSec,
+		IOPS: res.OpsPerSec, CPUPct: res.CPUUsagePct,
+		RerandPct: pct(res.RerandCycles, res.ElapsedSec),
+	}, nil
+}
+
+func pct(cycles uint64, elapsedSec float64) float64 {
+	if elapsedSec == 0 {
+		return 0
+	}
+	return float64(cycles) / (20 * elapsedSec * sim.CPUHz) * 100
+}
+
+// NVMeSweep runs the Fig. 6 configurations.
+func NVMeSweep(ops int) ([]NVMeRow, error) {
+	var rows []NVMeRow
+	r, err := NVMeDirectRead(PeriodOff, true, ops)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	for _, p := range []RerandPeriod{PeriodNone, Period5ms, Period1ms} {
+		r, err := NVMeDirectRead(p, false, ops)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — mySQL OLTP (sysbench oltp) with E1000E + NVMe re-randomized.
+
+// OLTPRow is one point of Fig. 7.
+type OLTPRow struct {
+	Period      string
+	Concurrency int
+	TPS         float64
+	CPUPct      float64
+}
+
+// OLTPConcurrency is the Fig. 7 sweep.
+var OLTPConcurrency = []int{25, 50, 75, 100}
+
+// OLTP models a sysbench-oltp transaction against the 10×1M-row database
+// (§5.2): ten queries of server-side work, a partially-cached working set
+// hitting NVMe on misses, and the result set returned over the NIC.
+func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, error) {
+	cfg := CfgRerandStack
+	if vanilla {
+		cfg = CfgVanillaRet
+	}
+	m, err := newMachine(cfg, 701, "e1000e", "nvme")
+	if err != nil {
+		return OLTPRow{}, err
+	}
+	if err := m.InitNVMe(); err != nil {
+		return OLTPRow{}, err
+	}
+	if _, err := m.InitNIC("e1000e"); err != nil {
+		return OLTPRow{}, err
+	}
+	m.NVMe.Preload(100, []byte("db page"))
+	buf, err := m.K.Kmalloc(4096)
+	if err != nil {
+		return OLTPRow{}, err
+	}
+	readVA, err := callVA(m, "nvme_read")
+	if err != nil {
+		return OLTPRow{}, err
+	}
+	xmitVA, err := callVA(m, "e1000e_xmit")
+	if err != nil {
+		return OLTPRow{}, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	const respBytes = 44_000 // result set per transaction
+	var slot uint64
+	op := func(c *cpu.CPU) (uint64, error) {
+		var wait uint64
+		for q := 0; q < 10; q++ {
+			burn(c, OLTPQueryCost)
+			// The database is partially cached in RAM (§5.2): ~15% of
+			// queries miss to NVMe.
+			if rng.Intn(100) < 15 {
+				lat, err := c.Call(readVA, buf, uint64(100+rng.Intn(64)), 4096)
+				if err != nil {
+					return 0, err
+				}
+				wait += lat
+			}
+		}
+		// Return the result set: one driver xmit per MTU-sized frame.
+		for b := 0; b < respBytes; b += 1448 {
+			if _, err := c.Call(xmitVA, buf, 1448, slot); err != nil {
+				return 0, err
+			}
+			slot++
+		}
+		// Client round-trip think time (the load generator is a separate
+		// box; latency off the server's CPUs).
+		wait += 30_000_000 // ≈13.6 ms
+		return wait, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: txs, Workers: concurrency, SyscallCycles: SyscallEntry * 12,
+		BytesPerOp: respBytes, WireBps: devices.WireBytesPerSec,
+		RerandPeriodUs: period.PeriodUs,
+	}, op)
+	if err != nil {
+		return OLTPRow{}, err
+	}
+	return OLTPRow{
+		Period: period.Label, Concurrency: concurrency,
+		TPS: res.OpsPerSec, CPUPct: res.CPUUsagePct,
+	}, nil
+}
+
+// OLTPSweep runs the Fig. 7 grid.
+func OLTPSweep(txs int) ([]OLTPRow, error) {
+	var rows []OLTPRow
+	for _, p := range []struct {
+		RerandPeriod
+		vanilla bool
+	}{{PeriodOff, true}, {Period5ms, false}, {Period1ms, false}} {
+		for _, conc := range OLTPConcurrency {
+			r, err := OLTP(p.RerandPeriod, p.vanilla, conc, txs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — ApacheBench static file serving, five modules re-randomized.
+
+// ApacheRow is one point of Fig. 8.
+type ApacheRow struct {
+	Period      string
+	BlockBytes  int
+	Concurrency int
+	MBps        float64
+	CPUPct      float64
+}
+
+// ApacheBlockSizes and ApacheConcurrency are the Fig. 8 sweeps.
+var (
+	ApacheBlockSizes  = []int{512, 1024, 4096, 8192}
+	ApacheConcurrency = []int{20, 40, 60, 80, 100}
+)
+
+// Apache serves a static file of the given size per request. Pressure
+// lands on E1000E with occasional NVMe accesses; FUSE, ext4 and xHCI ride
+// along as extra re-randomization load, exactly as in §5.2.
+func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int) (ApacheRow, error) {
+	cfg := CfgRerandStack
+	if vanilla {
+		cfg = CfgVanillaRet
+	}
+	m, err := newMachine(cfg, 801, "e1000e", "nvme", "fuse", "ext4", "xhci")
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	if err := m.InitNVMe(); err != nil {
+		return ApacheRow{}, err
+	}
+	if _, err := m.InitNIC("e1000e"); err != nil {
+		return ApacheRow{}, err
+	}
+	if err := m.InitXHCI(); err != nil {
+		return ApacheRow{}, err
+	}
+	buf, err := m.K.Kmalloc(8192)
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	pollVA, err := callVA(m, "e1000e_poll_rx")
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	xmitVA, err := callVA(m, "e1000e_xmit")
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	getBlockVA, err := callVA(m, "ext4_get_block")
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	readVA, err := callVA(m, "nvme_read")
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	rng := rand.New(rand.NewSource(9))
+	var slot uint64
+	op := func(c *cpu.CPU) (uint64, error) {
+		var wait uint64
+		// Receive + parse the request.
+		if _, err := c.Call(pollVA, slot); err != nil {
+			return 0, err
+		}
+		burn(c, HTTPAppCost)
+		// File lookup through ext4; ~5% of requests miss the page cache
+		// and hit NVMe.
+		if _, err := c.Call(getBlockVA, 3, uint64(rng.Intn(2048))); err != nil {
+			return 0, err
+		}
+		if rng.Intn(100) < 5 {
+			lat, err := c.Call(readVA, buf, uint64(200+rng.Intn(32)), 4096)
+			if err != nil {
+				return 0, err
+			}
+			wait += lat
+		}
+		// Send the response, one frame per MTU.
+		for b := 0; b < blockBytes+300; b += 1448 {
+			if _, err := c.Call(xmitVA, buf, 1448, slot); err != nil {
+				return 0, err
+			}
+			slot++
+		}
+		// Client-side round trip.
+		wait += 5_500_000 // ≈2.5 ms
+		return wait, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: reqs, Workers: concurrency, SyscallCycles: SyscallEntry * 4,
+		BytesPerOp: float64(blockBytes + 300), WireBps: devices.WireBytesPerSec,
+		RerandPeriodUs: period.PeriodUs,
+	}, op)
+	if err != nil {
+		return ApacheRow{}, err
+	}
+	return ApacheRow{
+		Period: period.Label, BlockBytes: blockBytes, Concurrency: concurrency,
+		MBps: res.MBPerSec, CPUPct: res.CPUUsagePct,
+	}, nil
+}
+
+// ApacheSweep runs the Fig. 8 grid.
+func ApacheSweep(reqs int) ([]ApacheRow, error) {
+	var rows []ApacheRow
+	for _, p := range []struct {
+		RerandPeriod
+		vanilla bool
+	}{{PeriodOff, true}, {Period20ms, false}, {Period5ms, false}, {Period1ms, false}} {
+		for _, bs := range ApacheBlockSizes {
+			for _, conc := range ApacheConcurrency {
+				r, err := Apache(p.RerandPeriod, p.vanilla, bs, conc, reqs)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — IOCTL null-operation throughput (CPU-bound worst case, §5.3).
+
+// IoctlRow is one bar of Fig. 9.
+type IoctlRow struct {
+	Variant    string
+	MopsPerSec float64
+	CPUPct     float64
+}
+
+// IoctlVariants are the Fig. 9 comparison points: original Linux, plain
+// PIC, wrappers (re-randomizable without stack swap), and wrappers plus
+// stack re-randomization.
+var IoctlVariants = []struct {
+	Name string
+	Cfg  Config
+}{
+	{"linux", CfgVanillaRet},
+	{"pic", CfgPICRet},
+	{"wrappers", CfgRerand},
+	{"wrappers+stack", CfgRerandStack},
+}
+
+// Ioctl measures the dummy driver's null-ioctl rate.
+func Ioctl(name string, cfg Config, ops int) (IoctlRow, error) {
+	m, err := newMachine(cfg, 901, "dummy")
+	if err != nil {
+		return IoctlRow{}, err
+	}
+	va, err := callVA(m, "dummy_ioctl")
+	if err != nil {
+		return IoctlRow{}, err
+	}
+	op := func(c *cpu.CPU) (uint64, error) {
+		ret, err := c.Call(va, 0)
+		if err != nil {
+			return 0, err
+		}
+		if ret != 0 {
+			return 0, fmt.Errorf("ioctl returned %d", int64(ret))
+		}
+		return 0, nil
+	}
+	res, err := m.Run(sim.RunConfig{
+		Ops: ops, Workers: 1, SyscallCycles: SyscallEntry,
+	}, op)
+	if err != nil {
+		return IoctlRow{}, err
+	}
+	return IoctlRow{Variant: name, MopsPerSec: res.OpsPerSec / 1e6, CPUPct: res.CPUUsagePct}, nil
+}
+
+// IoctlSweep runs the Fig. 9 variants.
+func IoctlSweep(ops int) ([]IoctlRow, error) {
+	var rows []IoctlRow
+	for _, v := range IoctlVariants {
+		r, err := Ioctl(v.Name, v.Cfg, ops)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adelie/internal/attack"
+	"adelie/internal/drivers"
+	"adelie/internal/elfmod"
+	"adelie/internal/isa"
+	"adelie/internal/kcc"
+	"adelie/internal/kernel"
+	"adelie/internal/rerand"
+	"adelie/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — ROP gadget distribution.
+
+// GadgetRow is one bar group of Fig. 10: gadget counts per class for one
+// code population.
+type GadgetRow struct {
+	Population string // "kernel", "modules", "pic-modules", "pic-immovable"
+	Dist       attack.Distribution
+}
+
+// GadgetDistribution scans (a) a kernel-sized code body, (b) the module
+// corpus built non-PIC, (c) the same corpus built PIC+retpoline split into
+// movable and immovable parts, mirroring Fig. 10's populations.
+func GadgetDistribution(corpusSize int) ([]GadgetRow, error) {
+	mods := attack.GenerateCorpus(23, corpusSize, attack.DefaultCorpus)
+
+	scanSections := func(obj *elfmod.Object, kind elfmod.SectionKind, all bool) attack.Distribution {
+		d := attack.Distribution{}
+		for _, sec := range obj.Sections {
+			if !sec.Kind.Executable() {
+				continue
+			}
+			if !all && sec.Kind != kind {
+				continue
+			}
+			for c, n := range attack.Distribute(attack.Scan(sec.Data, 0x10000)) {
+				d[c] += n
+			}
+		}
+		return d
+	}
+	merge := func(dst, src attack.Distribution) {
+		for c, n := range src {
+			dst[c] += n
+		}
+	}
+
+	// "Kernel": the core kernel is ~15% of the gadget mass (paper §6);
+	// model it as a corpus slice of that proportion built non-PIC.
+	kernelN := corpusSize / 6
+	if kernelN == 0 {
+		kernelN = 1
+	}
+	kernelDist := attack.Distribution{}
+	for _, m := range attack.GenerateCorpus(29, kernelN, attack.DefaultCorpus) {
+		obj, err := kcc.Compile(m, kcc.Options{Model: kcc.ModelAbsolute})
+		if err != nil {
+			return nil, err
+		}
+		merge(kernelDist, scanSections(obj, 0, true))
+	}
+
+	plainDist := attack.Distribution{}
+	picMovable := attack.Distribution{}
+	picImmovable := attack.Distribution{}
+	for _, m := range mods {
+		plain, err := kcc.Compile(m, kcc.Options{Model: kcc.ModelAbsolute})
+		if err != nil {
+			return nil, err
+		}
+		merge(plainDist, scanSections(plain, 0, true))
+
+		pic, err := drivers.Build(cloneModule(m), drivers.BuildOpts{
+			PIC: true, Retpoline: true, Rerand: true, RetEncrypt: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		merge(picMovable, scanSections(pic, elfmod.SecText, false))
+		merge(picImmovable, scanSections(pic, elfmod.SecFixedText, false))
+	}
+
+	return []GadgetRow{
+		{Population: "kernel", Dist: kernelDist},
+		{Population: "modules", Dist: plainDist},
+		{Population: "pic-movable", Dist: picMovable},
+		{Population: "pic-immovable", Dist: picImmovable},
+	}, nil
+}
+
+// cloneModule deep-copies a module so plugin transforms don't contaminate
+// the shared corpus instance.
+func cloneModule(m *kcc.Module) *kcc.Module {
+	out := &kcc.Module{Name: m.Name}
+	for _, f := range m.Funcs {
+		nf := *f
+		nf.Body = append([]kcc.Ins(nil), f.Body...)
+		out.Funcs = append(out.Funcs, &nf)
+	}
+	for _, g := range m.Globals {
+		ng := *g
+		ng.Init = append([]byte(nil), g.Init...)
+		ng.Relocs = append([]kcc.DataReloc(nil), g.Relocs...)
+		out.Globals = append(out.Globals, &ng)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — ROP chain quality across the module population.
+
+// ChainTable mirrors Table 2's rows.
+type ChainTable struct {
+	CleanChain      int // "With ROP Chain, no side-effect"
+	SideEffectChain int // "With ROP Chain, with side-effect"
+	NoChain         int // "Without ROP Chain"
+	Modules         int
+	PIC             bool
+}
+
+// ChainCensus classifies every module in the corpus under one code model.
+func ChainCensus(corpusSize int, pic bool) (ChainTable, error) {
+	mods := attack.GenerateCorpus(23, corpusSize, attack.DefaultCorpus)
+	t := ChainTable{Modules: corpusSize, PIC: pic}
+	model := kcc.ModelAbsolute
+	if pic {
+		model = kcc.ModelPIC
+	}
+	for _, m := range mods {
+		obj, err := kcc.Compile(m, kcc.Options{Model: model, Retpoline: pic})
+		if err != nil {
+			return t, err
+		}
+		var code []byte
+		for _, sec := range obj.Sections {
+			if sec.Kind.Executable() {
+				code = append(code, sec.Data...)
+			}
+		}
+		switch attack.ClassifyModule(code, 0x10000) {
+		case attack.ChainClean:
+			t.CleanChain++
+		case attack.ChainWithSideEffect:
+			t.SideEffectChain++
+		default:
+			t.NoChain++
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// §5.4 — scalability of the re-randomizer thread.
+
+// ScalabilityRow reports the randomizer thread's CPU share when
+// re-randomizing n modules at the given period.
+type ScalabilityRow struct {
+	Modules  int
+	PeriodMs float64
+	CPUPct   float64 // share of ONE core, like the paper's 0.4% figure
+}
+
+// Scalability loads n re-randomizable synthetic modules, measures the
+// cycle cost of a randomizer pass, and derives the thread's CPU share at
+// the period.
+func Scalability(moduleCounts []int, periodMs float64) ([]ScalabilityRow, error) {
+	var rows []ScalabilityRow
+	for _, n := range moduleCounts {
+		k, err := kernel.New(kernel.Config{NumCPUs: 20, Seed: 54, KASLR: kernel.KASLRFull64})
+		if err != nil {
+			return nil, err
+		}
+		r := rerand.New(k)
+		for i, m := range attack.GenerateCorpus(31, n, attack.DefaultCorpus) {
+			obj, err := drivers.Build(m, drivers.BuildOpts{
+				PIC: true, Retpoline: true, Rerand: true, StackRerand: true, RetEncrypt: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("module %d: %w", i, err)
+			}
+			mod, err := k.Load(obj)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.Add(mod); err != nil {
+				return nil, err
+			}
+		}
+		// Average the pass cost over several steps.
+		var cycles uint64
+		const steps = 5
+		for s := 0; s < steps; s++ {
+			rep, err := r.Step()
+			if err != nil {
+				return nil, err
+			}
+			cycles += rep.Cycles
+			k.SMR.Flush()
+		}
+		perPass := float64(cycles) / steps
+		passesPerSec := 1000 / periodMs
+		rows = append(rows, ScalabilityRow{
+			Modules: n, PeriodMs: periodMs,
+			CPUPct: perPass * passesPerSec / sim.CPUHz * 100,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// §6 — security analysis numbers.
+
+// SecurityReport aggregates the §6 quantitative claims.
+type SecurityReport struct {
+	VanillaGuessProb  float64 // 2^-19
+	Full64GuessProb   float64 // 2^-44
+	VanillaBruteForce attack.BruteForceResult
+	Full64BruteForce  attack.BruteForceResult
+	JITROPVanilla     attack.JITROPOutcome // no re-randomization: succeeds
+	JITROPDefended    attack.JITROPOutcome // 5 ms period: fails
+	AttackMicros      float64
+}
+
+// SecurityAnalysis reproduces the §6 numbers: guess probabilities, an
+// empirical brute-force campaign against both KASLR windows, and the
+// JIT-ROP race against the re-randomization interval.
+func SecurityAnalysis() (SecurityReport, error) {
+	var rep SecurityReport
+	rep.VanillaGuessProb = attack.GuessProbability(attack.VanillaWindowBits)
+	rep.Full64GuessProb = attack.GuessProbability(attack.Full64WindowBits)
+
+	rng := rand.New(rand.NewSource(66))
+	// Empirical brute force: a module of 8 pages inside each window.
+	const modBytes = 8 * 4096
+	rep.VanillaBruteForce = attack.SimulateBruteForce(rng, 0, 1<<attack.VanillaWindowBits, 1<<28, modBytes, 4<<20)
+	rep.Full64BruteForce = attack.SimulateBruteForce(rng, 0, 1<<attack.Full64WindowBits, 1<<40, modBytes, 4<<20)
+
+	// JIT-ROP against a vulnerable driver, vanilla vs defended.
+	mkKernel := func() (*kernel.Kernel, error) {
+		return kernel.New(kernel.Config{NumCPUs: 4, Seed: 13, KASLR: kernel.KASLRFull64})
+	}
+	vulnerable := func() *kcc.Module {
+		m := &kcc.Module{Name: "vuln"}
+		m.AddFunc("vuln_ioctl", true, vulnBody()...)
+		return m
+	}
+
+	kv, err := mkKernel()
+	if err != nil {
+		return rep, err
+	}
+	objV, err := kcc.Compile(vulnerable(), kcc.Options{Model: kcc.ModelPIC})
+	if err != nil {
+		return rep, err
+	}
+	modV, err := kv.Load(objV)
+	if err != nil {
+		return rep, err
+	}
+	rep.JITROPVanilla = attack.SimulateJITROP(kv, modV, attack.DefaultJITROP, 0, nil)
+
+	kd, err := mkKernel()
+	if err != nil {
+		return rep, err
+	}
+	objD, err := drivers.Build(vulnerable(), drivers.BuildOpts{PIC: true, Rerand: true})
+	if err != nil {
+		return rep, err
+	}
+	modD, err := kd.Load(objD)
+	if err != nil {
+		return rep, err
+	}
+	rep.JITROPDefended = attack.SimulateJITROP(kd, modD, attack.DefaultJITROP, 5_000, func() error {
+		if _, err := modD.Rerandomize(); err != nil {
+			return err
+		}
+		kd.SMR.Flush()
+		return nil
+	})
+	rep.AttackMicros = rep.JITROPDefended.ElapsedMicros
+	return rep, nil
+}
+
+// vulnBody is a buffer-handling entry with the usual pop-rich epilogue.
+func vulnBody() []kcc.Ins {
+	return []kcc.Ins{
+		kcc.Push(isa.RDX),
+		kcc.Push(isa.RSI),
+		kcc.Push(isa.RDI),
+		kcc.MovImm(isa.RAX, 0),
+		kcc.Pop(isa.RDI),
+		kcc.Pop(isa.RSI),
+		kcc.Pop(isa.RDX),
+		kcc.Ret(),
+	}
+}
