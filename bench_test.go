@@ -12,6 +12,10 @@ import (
 	"testing"
 
 	"adelie/internal/attack"
+	"adelie/internal/cpu"
+	"adelie/internal/drivers"
+	"adelie/internal/kernel"
+	"adelie/internal/sim"
 	"adelie/internal/workload"
 )
 
@@ -208,6 +212,49 @@ func BenchmarkTable2Chains(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(t.CleanChain+t.SideEffectChain)/float64(t.Modules)*100, "chain-rate-%")
+	}
+}
+
+// BenchmarkEngineParallelLanes measures the execution engine itself: a
+// fixed pool of CPU-bound ioctl operations interpreted on 1 vs 20
+// physical lanes (host wall-clock per op is the metric; the simulated
+// numbers are a side effect). The multi-lane case also reports how many
+// vCPUs accrued interpreted work — the engine's true multi-core
+// accounting.
+func BenchmarkEngineParallelLanes(b *testing.B) {
+	for _, workers := range []int{1, 20} {
+		b.Run(map[int]string{1: "lanes1", 20: "lanes20"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: 11, KASLR: kernel.KASLRFull64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.LoadDriver("dummy", drivers.BuildOpts{PIC: true, Retpoline: true}); err != nil {
+					b.Fatal(err)
+				}
+				va, _ := m.K.Symbol("dummy_ioctl")
+				b.StartTimer()
+				res, err := m.Run(sim.RunConfig{Ops: 20000, Workers: workers, SyscallCycles: workload.SyscallEntry},
+					func(c *cpu.CPU) (uint64, error) {
+						_, err := c.Call(va, 0)
+						return 0, err
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				busyCPUs := 0
+				for j := 0; j < m.K.NumCPUs(); j++ {
+					if m.K.CPU(j).Cycles > 0 {
+						busyCPUs++
+					}
+				}
+				b.ReportMetric(float64(res.Lanes), "lanes")
+				b.ReportMetric(float64(busyCPUs), "busy-vcpus")
+				b.StartTimer()
+			}
+		})
 	}
 }
 

@@ -7,13 +7,22 @@
 //	benchtool all
 //
 // The -quick flag shrinks op counts for a fast smoke pass.
+//
+// The selfbench experiment measures the harness itself (wall-clock time
+// per interpreted operation on the hot figure paths) rather than the
+// simulated metrics; with -json FILE the results are written as a JSON
+// record so successive PRs can track the interpreter's real speed
+// (BENCH_seed.json, BENCH_pr1.json, ...).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"adelie/internal/attack"
 	"adelie/internal/workload"
@@ -21,6 +30,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced op counts")
+	jsonPath := flag.String("json", "", "write selfbench results to this JSON file")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -36,7 +46,13 @@ func main() {
 			"fig7", "fig8", "fig9", "fig10", "table2", "scalability", "security", "ablation"}
 	}
 	for _, id := range args {
-		if err := run(id, scale); err != nil {
+		var err error
+		if id == "selfbench" {
+			err = selfbench(*jsonPath, scale)
+		} else {
+			err = run(id, scale)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtool: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -44,9 +60,104 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-json FILE] <experiment>...
 experiments: fig1 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10
-             table2 scalability security ablation all`)
+             table2 scalability security ablation selfbench all`)
+}
+
+// selfbenchRecord is the JSON shape of one recorded harness benchmark.
+type selfbenchRecord struct {
+	GoVersion string             `json:"go_version"`
+	Quick     bool               `json:"quick"`
+	WallNsOp  map[string]float64 `json:"wall_ns_per_op"` // host ns per simulated op
+	Metrics   map[string]float64 `json:"metrics"`        // simulated headline metrics
+}
+
+// selfbench times the harness on the hot interpreter paths. Wall-clock
+// per-op figures are what the decoded-instruction cache and lock-light
+// translation path are meant to improve; the simulated metrics ride
+// along as a sanity check that optimization did not change results.
+func selfbench(jsonPath string, scale int) error {
+	header("selfbench — harness wall-clock per simulated operation")
+	rec := selfbenchRecord{
+		GoVersion: runtime.Version(),
+		Quick:     scale > 1,
+		WallNsOp:  map[string]float64{},
+		Metrics:   map[string]float64{},
+	}
+
+	ddOps := 1600 / scale
+	start := time.Now()
+	dd, err := workload.DD(workload.CfgPICRet, 64, ddOps)
+	if err != nil {
+		return err
+	}
+	rec.WallNsOp["fig5b_dd64_picret"] = float64(time.Since(start).Nanoseconds()) / float64(ddOps)
+	rec.Metrics["fig5b_dd64_picret_mbps"] = dd.MBps
+
+	ioctlOps := 12000 / scale
+	start = time.Now()
+	io, err := workload.Ioctl("wrappers+stack", workload.CfgRerandStack, ioctlOps)
+	if err != nil {
+		return err
+	}
+	rec.WallNsOp["fig9_ioctl_rerandstack"] = float64(time.Since(start).Nanoseconds()) / float64(ioctlOps)
+	rec.Metrics["fig9_ioctl_rerandstack_mops"] = io.MopsPerSec
+
+	nvmeOps := 2400 / scale
+	start = time.Now()
+	nv, err := workload.NVMeDirectRead(workload.Period1ms, false, nvmeOps)
+	if err != nil {
+		return err
+	}
+	rec.WallNsOp["fig6_nvme_1ms"] = float64(time.Since(start).Nanoseconds()) / float64(nvmeOps)
+	rec.Metrics["fig6_nvme_1ms_mbps"] = nv.MBps
+
+	oltpTxs := 240 / scale
+	start = time.Now()
+	ol, err := workload.OLTP(workload.Period5ms, false, 100, oltpTxs)
+	if err != nil {
+		return err
+	}
+	rec.WallNsOp["fig7_oltp_5ms_c100"] = float64(time.Since(start).Nanoseconds()) / float64(oltpTxs)
+	rec.Metrics["fig7_oltp_5ms_c100_tps"] = ol.TPS
+
+	sc, err := workload.Scalability([]int{20}, 20)
+	if err != nil {
+		return err
+	}
+	rec.Metrics["scalability_20mods_corepct"] = sc[0].CPUPct
+
+	fmt.Printf("%-26s %16s\n", "path", "host ns/op")
+	for _, k := range sortedKeys(rec.WallNsOp) {
+		fmt.Printf("%-26s %16.0f\n", k, rec.WallNsOp[k])
+	}
+	fmt.Printf("%-34s %12s\n", "simulated metric", "value")
+	for _, k := range sortedKeys(rec.Metrics) {
+		fmt.Printf("%-34s %12.3f\n", k, rec.Metrics[k])
+	}
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func header(title string) {

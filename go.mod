@@ -1,0 +1,3 @@
+module adelie
+
+go 1.24

@@ -45,9 +45,14 @@ func TestArtifactWorkflow(t *testing.T) {
 	if err := m.InitXHCI(); err != nil {
 		t.Fatal(err)
 	}
-	buf, err := m.K.Kmalloc(4096)
-	if err != nil {
-		t.Fatal(err)
+	// Ops run concurrently on min(Workers, NumCPUs) vCPUs: give each lane
+	// its own DMA buffer and TX-descriptor slot, as an SMP driver would.
+	bufs := make([]uint64, m.K.NumCPUs())
+	for i := range bufs {
+		var err error
+		if bufs[i], err = m.K.Kmalloc(4096); err != nil {
+			t.Fatal(err)
+		}
 	}
 	syms := map[string]uint64{}
 	for _, s := range []string{"dummy_ioctl", "nvme_read", "ext4_get_block", "fuse_dispatch", "xhci_poll", "e1000e_xmit"} {
@@ -63,6 +68,7 @@ func TestArtifactWorkflow(t *testing.T) {
 	res, err := m.Run(sim.RunConfig{
 		Ops: 600, Workers: 4, RerandPeriodUs: 100, SyscallCycles: 2000,
 	}, func(c *cpu.CPU) (uint64, error) {
+		buf := bufs[c.ID]
 		if _, err := c.Call(syms["dummy_ioctl"], 0); err != nil {
 			return 0, err
 		}
@@ -79,7 +85,7 @@ func TestArtifactWorkflow(t *testing.T) {
 		if _, err := c.Call(syms["xhci_poll"]); err != nil {
 			return 0, err
 		}
-		if _, err := c.Call(syms["e1000e_xmit"], buf, 512, 0); err != nil {
+		if _, err := c.Call(syms["e1000e_xmit"], buf, 512, uint64(c.ID)); err != nil {
 			return 0, err
 		}
 		return lat, nil

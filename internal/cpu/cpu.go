@@ -14,6 +14,7 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"adelie/internal/isa"
@@ -64,11 +65,82 @@ type CPU struct {
 	Insts  uint64 // instructions retired
 
 	fetchBuf [isa.MaxInstLen]byte
+
+	// decoded is the per-vCPU decoded-instruction cache: one page of
+	// pre-decoded instructions per physical frame. Keying by frame (not
+	// VA) means a zero-copy re-randomization remap — same frames, new
+	// addresses — keeps its decoded code warm, mirroring how the paper's
+	// moves never copy module text. Entries are validated against the
+	// frame's content version, so writes to a code page through any
+	// mapping (including a W^X-violating writable alias) invalidate the
+	// stale decode before it can execute.
+	decoded map[mm.FrameID]*pageDecode
+
+	// decodeHits/decodeMisses count cache consultations (metrics only).
+	decodeHits, decodeMisses uint64
 }
+
+// decodeChunkBytes is the granularity at which decode storage is
+// allocated within a page. Code rarely fills whole pages (module
+// functions are tens to hundreds of bytes), so chunking keeps the
+// cache's footprint proportional to the code actually executed while
+// the hit path stays a bounds-free double index.
+const decodeChunkBytes = 512
+
+// decodeChunk caches decodes for one chunk's worth of byte offsets.
+type decodeChunk struct {
+	valid [decodeChunkBytes / 64]uint64
+	insts [decodeChunkBytes]isa.Inst
+}
+
+// pageDecode caches the decode of one physical frame's worth of code;
+// chunks materialize on first use.
+type pageDecode struct {
+	ver    uint64 // frame content version this decode belongs to
+	chunks [mm.PageSize / decodeChunkBytes]*decodeChunk
+}
+
+func (p *pageDecode) get(off int) (isa.Inst, bool) {
+	ch := p.chunks[off/decodeChunkBytes]
+	if ch == nil {
+		return isa.Inst{}, false
+	}
+	o := off % decodeChunkBytes
+	if ch.valid[o>>6]&(1<<(uint(o)&63)) == 0 {
+		return isa.Inst{}, false
+	}
+	return ch.insts[o], true
+}
+
+func (p *pageDecode) set(off int, in isa.Inst) {
+	ci := off / decodeChunkBytes
+	ch := p.chunks[ci]
+	if ch == nil {
+		ch = &decodeChunk{}
+		p.chunks[ci] = ch
+	}
+	o := off % decodeChunkBytes
+	ch.insts[o] = in
+	ch.valid[o>>6] |= 1 << (uint(o) & 63)
+}
+
+// maxDecodedPages bounds the cache footprint per vCPU. Module working
+// sets are a handful of text pages; when the bound is hit the whole
+// cache is dropped (simple and deterministic).
+const maxDecodedPages = 128
 
 // New returns a CPU executing in the given address space.
 func New(id int, as *mm.AddressSpace) *CPU {
-	return &CPU{ID: id, AS: as, TLB: mm.NewTLB(as), natives: make(map[uint64]*Native)}
+	return &CPU{
+		ID: id, AS: as, TLB: mm.NewTLB(as),
+		natives: make(map[uint64]*Native),
+		decoded: make(map[mm.FrameID]*pageDecode),
+	}
+}
+
+// DecodeCacheStats returns the decoded-instruction cache hit/miss counts.
+func (c *CPU) DecodeCacheStats() (hits, misses uint64) {
+	return c.decodeHits, c.decodeMisses
 }
 
 // RegisterNative installs a native kernel function at va. The page
@@ -110,33 +182,47 @@ func (c *CPU) fault(reason string, err error) error {
 }
 
 // load64 reads a 64-bit value through the TLB with cycle accounting.
+// TLB hits on ordinary memory are served straight from the frame bytes
+// cached in the entry — no page walk, no allocator lock.
 func (c *CPU) load64(va uint64) (uint64, error) {
-	_, flags, hit, err := c.TLB.Translate(va, mm.AccessRead)
+	e, hit, err := c.TLB.Entry(va, mm.AccessRead)
 	if err != nil {
 		return 0, err
 	}
 	if !hit {
 		c.Cycles += CostTLBMiss
 	}
-	if flags&mm.FlagMMIO != 0 {
+	if e.Flags&mm.FlagMMIO != 0 {
 		c.Cycles += CostMMIO
+		return c.AS.Read64(va) // device register routing
 	}
-	return c.AS.Read64(va)
+	off := va & mm.PageMask
+	if off+8 <= mm.PageSize {
+		return binary.LittleEndian.Uint64(e.Bytes()[off : off+8]), nil
+	}
+	return c.AS.Read64(va) // page-straddling access: slow path
 }
 
 // store64 writes a 64-bit value through the TLB with cycle accounting.
 func (c *CPU) store64(va uint64, val uint64) error {
-	_, flags, hit, err := c.TLB.Translate(va, mm.AccessWrite)
+	e, hit, err := c.TLB.Entry(va, mm.AccessWrite)
 	if err != nil {
 		return err
 	}
 	if !hit {
 		c.Cycles += CostTLBMiss
 	}
-	if flags&mm.FlagMMIO != 0 {
+	if e.Flags&mm.FlagMMIO != 0 {
 		c.Cycles += CostMMIO
+		return c.AS.Write64(va, val) // device register routing
 	}
-	return c.AS.Write64(va, val)
+	off := va & mm.PageMask
+	if off+8 <= mm.PageSize {
+		binary.LittleEndian.PutUint64(e.Bytes()[off:off+8], val)
+		e.NoteWrite()
+		return nil
+	}
+	return c.AS.Write64(va, val) // page-straddling access: slow path
 }
 
 // Push pushes val onto the stack.
@@ -155,44 +241,64 @@ func (c *CPU) Pop() (uint64, error) {
 	return v, nil
 }
 
-// fetch decodes the instruction at RIP, enforcing execute permission.
+// fetch returns the instruction at RIP, enforcing execute permission.
+// The fast path is a decoded-instruction cache hit: one TLB lookup, one
+// frame-version check, one array index — straight-line driver code
+// decodes once per (frame, content version), not per step.
 func (c *CPU) fetch() (isa.Inst, error) {
 	rip := c.RIP
-	_, _, hit, err := c.TLB.Translate(rip, mm.AccessExec)
+	e, hit, err := c.TLB.Entry(rip, mm.AccessExec)
 	if err != nil {
 		return isa.Inst{}, err
 	}
 	if !hit {
 		c.Cycles += CostTLBMiss
 	}
-	// Read as much of the instruction as fits in this page.
-	pageEnd := (rip &^ mm.PageMask) + mm.PageSize
-	n := int(pageEnd - rip)
-	if n > isa.MaxInstLen {
-		n = isa.MaxInstLen
-	}
-	buf := c.fetchBuf[:0]
-	b, err := c.AS.ReadBytes(rip, n)
-	if err != nil {
-		return isa.Inst{}, err
-	}
-	buf = append(buf, b...)
-	in, derr := isa.Decode(buf)
-	if derr == isa.ErrTruncated && n < isa.MaxInstLen {
-		// Instruction straddles a page: the next page must be executable.
-		if _, _, _, err := c.TLB.Translate(pageEnd, mm.AccessExec); err != nil {
-			return isa.Inst{}, err
+	off := int(rip & mm.PageMask)
+	ver := e.Version()
+	pd := c.decoded[e.Frame]
+	if pd != nil && pd.ver == ver {
+		if in, ok := pd.get(off); ok {
+			c.decodeHits++
+			return in, nil
 		}
-		rest, err := c.AS.ReadBytes(pageEnd, isa.MaxInstLen-n)
+	} else {
+		if len(c.decoded) >= maxDecodedPages {
+			clear(c.decoded)
+		}
+		pd = &pageDecode{ver: ver}
+		c.decoded[e.Frame] = pd
+	}
+	c.decodeMisses++
+
+	// Decode directly from the frame bytes — no copy on the common path.
+	page := e.Bytes()
+	in, derr := isa.Decode(page[off:])
+	if derr == isa.ErrTruncated && mm.PageSize-off < isa.MaxInstLen {
+		// Instruction straddles the page boundary: splice the head bytes
+		// with the start of the next page (which must be executable) and
+		// decode once more. Straddlers are not cached — their decode
+		// depends on two frames' contents.
+		n := copy(c.fetchBuf[:], page[off:])
+		pageEnd := (rip &^ mm.PageMask) + mm.PageSize
+		e2, hit2, err := c.TLB.Entry(pageEnd, mm.AccessExec)
 		if err != nil {
 			return isa.Inst{}, err
 		}
-		buf = append(buf, rest...)
-		in, derr = isa.Decode(buf)
+		if !hit2 {
+			c.Cycles += CostTLBMiss
+		}
+		m := copy(c.fetchBuf[n:], e2.Bytes())
+		in, derr = isa.Decode(c.fetchBuf[:n+m])
+		if derr != nil {
+			return isa.Inst{}, derr
+		}
+		return in, nil
 	}
 	if derr != nil {
 		return isa.Inst{}, derr
 	}
+	pd.set(off, in)
 	return in, nil
 }
 

@@ -1,0 +1,217 @@
+package cpu
+
+import (
+	"testing"
+
+	"adelie/internal/isa"
+	"adelie/internal/mm"
+)
+
+// encode assembles a sequence of instructions.
+func encode(code ...isa.Inst) []byte {
+	var buf []byte
+	for _, in := range code {
+		buf = in.Append(buf)
+	}
+	return buf
+}
+
+// retImm is a tiny function returning imm.
+func retImm(imm int64) []byte {
+	return encode(
+		isa.Inst{Op: isa.OpMOVI, R1: isa.RAX, Imm: imm},
+		isa.Inst{Op: isa.OpRET},
+	)
+}
+
+// TestDecodeCacheHitsOnStraightLineCode verifies the cache is actually
+// exercised: re-executing the same code must be served from decoded
+// instructions, not fresh decodes.
+func TestDecodeCacheHitsOnStraightLineCode(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 7},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 7 {
+		t.Fatalf("first run = %d", got)
+	}
+	hits0, _ := c.DecodeCacheStats()
+	if got := run(t, c); got != 7 {
+		t.Fatalf("second run = %d", got)
+	}
+	hits1, misses := c.DecodeCacheStats()
+	if hits1 <= hits0 {
+		t.Fatalf("second run decoded from scratch: hits %d → %d (misses %d)", hits0, hits1, misses)
+	}
+}
+
+// TestDecodeCacheInvalidatedByAliasWrite is the W^X hole test: map the
+// code frame a second time with write permission, patch the code through
+// the alias, and verify the vCPU executes the new bytes — a stale cached
+// decode must never run.
+func TestDecodeCacheInvalidatedByAliasWrite(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("original code = %d, want 1", got)
+	}
+	// Warm the decode cache on the original bytes.
+	if got := run(t, c); got != 1 {
+		t.Fatalf("warm run = %d, want 1", got)
+	}
+
+	frame, _, ok := c.AS.Lookup(codeBase)
+	if !ok {
+		t.Fatal("code page not mapped")
+	}
+	alias := mm.KernelBase + 0x900000
+	if err := c.AS.Map(alias, frame, mm.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	// An ordinary permission-checked write through the writable alias.
+	if err := c.AS.WriteBytes(alias, retImm(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c); got != 2 {
+		t.Fatalf("patched code = %d, want 2 (stale decode executed)", got)
+	}
+}
+
+// TestDecodeCacheInvalidatedByStore64Alias repeats the W^X hole through
+// the CPU's own store path (interpreted guest stores, not host writes).
+func TestDecodeCacheInvalidatedByStore64Alias(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("original code = %d, want 1", got)
+	}
+	frame, _, ok := c.AS.Lookup(codeBase)
+	if !ok {
+		t.Fatal("code page not mapped")
+	}
+	alias := mm.KernelBase + 0x910000
+	if err := c.AS.Map(alias, frame, mm.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	patch := retImm(3)
+	for len(patch) < 8 {
+		patch = append(patch, byte(isa.OpNOP))
+	}
+	var word uint64
+	for i := 7; i >= 0; i-- {
+		word = word<<8 | uint64(patch[i])
+	}
+	if err := c.store64(alias, word); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c); got != 3 {
+		t.Fatalf("patched code = %d, want 3 (stale decode executed)", got)
+	}
+}
+
+// TestDecodeCacheInvalidatedByForceWrite covers the loader/re-randomizer
+// patching path (WriteBytesForce on already-executable text).
+func TestDecodeCacheInvalidatedByForceWrite(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("original code = %d, want 1", got)
+	}
+	if err := c.AS.WriteBytesForce(codeBase, retImm(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, c); got != 4 {
+		t.Fatalf("patched code = %d, want 4 (stale decode executed)", got)
+	}
+}
+
+// TestProtectRevokesExecutionDespiteWarmCache: dropping exec permission
+// must stop execution even though the decode cache still holds the page.
+func TestProtectRevokesExecutionDespiteWarmCache(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("original code = %d", got)
+	}
+	if err := c.AS.Protect(codeBase, 0); err != nil { // read-only, NX
+		t.Fatal(err)
+	}
+	if _, err := c.Call(codeBase); err == nil {
+		t.Fatal("execution succeeded on an NX page with a warm decode cache")
+	}
+}
+
+// TestUnmapRevokesExecutionDespiteWarmCache: unmapping the page (the
+// re-randomizer's delayed teardown) must fault despite cached decodes.
+func TestUnmapRevokesExecutionDespiteWarmCache(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 1},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 1 {
+		t.Fatalf("original code = %d", got)
+	}
+	if _, err := c.AS.Unmap(codeBase); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(codeBase); err == nil {
+		t.Fatal("execution succeeded on an unmapped page with a warm decode cache")
+	}
+}
+
+// TestRemapKeepsDecodeWarm: a zero-copy remap (same frames, new VA) must
+// not force a re-decode — the cache is keyed by frame, mirroring the
+// paper's moves never copying module text.
+func TestRemapKeepsDecodeWarm(t *testing.T) {
+	c := machine(t, []isa.Inst{
+		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 9},
+		{Op: isa.OpRET},
+	})
+	if got := run(t, c); got != 9 {
+		t.Fatalf("original code = %d", got)
+	}
+	newBase := mm.KernelBase + 0x920000
+	if err := c.AS.RemapRegion(newBase, codeBase, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := c.DecodeCacheStats()
+	if got, err := c.Call(newBase); err != nil || got != 9 {
+		t.Fatalf("remapped code = (%d, %v), want 9", got, err)
+	}
+	_, misses1 := c.DecodeCacheStats()
+	if misses1 != misses0 {
+		t.Fatalf("remap forced %d re-decodes; frame-keyed cache should stay warm", misses1-misses0)
+	}
+}
+
+// TestStraddleFetch executes an instruction split across a page boundary
+// (the fetch path's two-frame splice) and verifies it decodes correctly
+// and repeatedly.
+func TestStraddleFetch(t *testing.T) {
+	// Fill page 0 with NOPs up to 3 bytes before its end, place a 10-byte
+	// MOVABS straddling into page 1, then RET.
+	var code []isa.Inst
+	nops := mm.PageSize - 3
+	for i := 0; i < nops; i++ {
+		code = append(code, isa.Inst{Op: isa.OpNOP})
+	}
+	want := uint64(0xDEAD_BEEF_0BAD_F00D)
+	code = append(code,
+		isa.Inst{Op: isa.OpMOVABS, R1: isa.RAX, Imm: int64(want)},
+		isa.Inst{Op: isa.OpRET},
+	)
+	c := machine(t, code)
+	for i := 0; i < 2; i++ { // second pass runs with a warm NOP page
+		if got := run(t, c); got != want {
+			t.Fatalf("pass %d: straddling MOVABS = %#x, want %#x", i, got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package devices
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 
 	"adelie/internal/mm"
@@ -39,9 +40,20 @@ const (
 )
 
 // SQ entry layout (4 words): opcode, LBA, byte count, buffer VA.
-// CQ entry layout (2 words): status (1 = done), command id echo.
+// CQ entry layout (2 words): status (1 = done), command latency in
+// cycles. Queues are slot-indexed by the doorbell value; the driver
+// dedicates slot smp_processor_id() to each vCPU, so commands from
+// different vCPUs never share an entry.
 
 // NVMe is the controller.
+//
+// It implements engine.EpochDevice: between BeginEpoch and EndEpoch
+// (the engine's round barriers), cache-hit decisions are made against
+// the epoch-start snapshot of the DRAM cache and insertions are
+// buffered, applied in sorted order at EndEpoch. Latencies observed by
+// concurrently-executing vCPUs are therefore independent of host
+// goroutine scheduling — the property that keeps parallel measurement
+// runs bit-reproducible.
 type NVMe struct {
 	mu sync.Mutex
 	as *mm.AddressSpace
@@ -52,14 +64,43 @@ type NVMe struct {
 
 	media     map[uint64][]byte // LBA → 512-byte block
 	cachedLBA map[uint64]bool   // controller DRAM cache contents
+	cacheFIFO []uint64          // insertion order, for deterministic eviction
 	cacheCap  int
+
+	epoch        bool            // inside a BeginEpoch/EndEpoch window
+	pendingTouch []uint64        // cache insertions buffered this epoch
+	pendingSet   map[uint64]bool // dedup for pendingTouch
 
 	Reads, Writes, CacheHits uint64
 }
 
 // NewNVMe creates a controller DMA-attached to the address space.
 func NewNVMe(as *mm.AddressSpace) *NVMe {
-	return &NVMe{as: as, media: map[uint64][]byte{}, cachedLBA: map[uint64]bool{}, cacheCap: 1024}
+	return &NVMe{
+		as: as, media: map[uint64][]byte{}, cachedLBA: map[uint64]bool{},
+		cacheCap: 1024, pendingSet: map[uint64]bool{},
+	}
+}
+
+// BeginEpoch enters round-granular cache semantics (engine.EpochDevice).
+func (d *NVMe) BeginEpoch() {
+	d.mu.Lock()
+	d.epoch = true
+	d.mu.Unlock()
+}
+
+// EndEpoch applies buffered cache insertions in deterministic (sorted)
+// order and leaves epoch mode.
+func (d *NVMe) EndEpoch() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.epoch = false
+	sort.Slice(d.pendingTouch, func(i, j int) bool { return d.pendingTouch[i] < d.pendingTouch[j] })
+	for _, lba := range d.pendingTouch {
+		d.insertCache(lba)
+	}
+	d.pendingTouch = d.pendingTouch[:0]
+	clear(d.pendingSet)
 }
 
 // Preload writes a block image directly to the media (test fixtures).
@@ -147,19 +188,39 @@ func (d *NVMe) process(slot uint64) {
 		return
 	}
 	d.lastLatency = latency
-	// Post completion: status=1, echo slot.
+	// Post completion: status=1, then the command's latency so the
+	// driver reads its own slot's timing instead of a shared register.
 	_ = d.as.Write64Force(d.cqBase+slot*16, 1)
-	_ = d.as.Write64Force(d.cqBase+slot*16+8, slot)
+	_ = d.as.Write64Force(d.cqBase+slot*16+8, latency)
 }
 
+// touchCache records an access to lba. Inside an epoch the insertion is
+// buffered so hit/miss decisions keep reading the epoch-start snapshot.
 func (d *NVMe) touchCache(lba uint64) {
-	if len(d.cachedLBA) >= d.cacheCap {
-		for k := range d.cachedLBA {
-			delete(d.cachedLBA, k)
-			break
+	if d.epoch {
+		if !d.cachedLBA[lba] && !d.pendingSet[lba] {
+			d.pendingSet[lba] = true
+			d.pendingTouch = append(d.pendingTouch, lba)
 		}
+		return
+	}
+	d.insertCache(lba)
+}
+
+// insertCache admits lba, evicting the oldest entry at capacity. FIFO
+// order (not map iteration) keeps eviction — and therefore every
+// subsequent hit/miss latency — deterministic across runs.
+func (d *NVMe) insertCache(lba uint64) {
+	if d.cachedLBA[lba] {
+		return
+	}
+	if len(d.cachedLBA) >= d.cacheCap {
+		victim := d.cacheFIFO[0]
+		d.cacheFIFO = d.cacheFIFO[1:]
+		delete(d.cachedLBA, victim)
 	}
 	d.cachedLBA[lba] = true
+	d.cacheFIFO = append(d.cacheFIFO, lba)
 }
 
 func min64(a, b uint64) uint64 {

@@ -18,6 +18,7 @@ import (
 	"adelie/internal/elfmod"
 	"adelie/internal/isa"
 	"adelie/internal/kcc"
+	"adelie/internal/kernel"
 	"adelie/internal/plugin"
 )
 
@@ -48,12 +49,31 @@ func Build(m *kcc.Module, o BuildOpts) (*elfmod.Object, error) {
 	return kcc.Compile(m, kcc.Options{Model: model, Retpoline: o.Retpoline})
 }
 
+// MaxGuestCPUs bounds the per-CPU data arrays drivers carry. The
+// engine runs guest code on up to NumCPUs vCPUs concurrently, so driver
+// counters and queue slots are per-CPU (indexed by smp_processor_id),
+// exactly like this_cpu_* data in real Linux drivers. kernel.New
+// enforces NumCPUs <= kernel.MaxCPUs, which this mirrors.
+const MaxGuestCPUs = kernel.MaxCPUs
+
+// perCPUSlot emits code computing base+8*cpu of a per-CPU 64-bit array:
+// RAX = smp_processor_id()*8, baseReg = &global + RAX. Clobbers RAX.
+func perCPUSlot(baseReg isa.Reg, global string) []kcc.Ins {
+	return []kcc.Ins{
+		kcc.Call("smp_processor_id"),
+		kcc.ArithImm(kcc.OpShl, isa.RAX, 3),
+		kcc.GlobalAddr(baseReg, global),
+		kcc.Arith(kcc.OpAdd, baseReg, isa.RAX),
+	}
+}
+
 // Dummy returns the §5.3 dummy driver: a null IOCTL handler executed in a
 // tight loop to expose the worst-case (CPU-bound) overhead of wrappers
-// and stack re-randomization (Fig. 9).
+// and stack re-randomization (Fig. 9). The op counter is per-CPU, so
+// concurrent vCPUs never write the same cell.
 func Dummy(name string) *kcc.Module {
 	m := &kcc.Module{Name: name}
-	m.AddFunc(name+"_ioctl", true,
+	body := []kcc.Ins{
 		// Validate the request code and fall through the default arm —
 		// the "null ioctl operation" of §5.3.
 		kcc.MovReg(isa.RAX, isa.RDI),
@@ -64,13 +84,17 @@ func Dummy(name string) *kcc.Module {
 		kcc.MovImm(isa.RAX, -22), // -EINVAL
 		kcc.Ret(),
 		kcc.Label("ok"),
-		kcc.GlobalLoad(isa.RCX, name+"_count"),
+	}
+	body = append(body, perCPUSlot(isa.RBX, name+"_count")...)
+	body = append(body,
+		kcc.Load(isa.RCX, isa.RBX, 0),
 		kcc.ArithImm(kcc.OpAdd, isa.RCX, 1),
-		kcc.GlobalStore(name+"_count", isa.RCX),
+		kcc.Store(isa.RBX, 0, isa.RCX),
 		kcc.MovImm(isa.RAX, 0),
 		kcc.Ret(),
 	)
-	m.AddGlobal(kcc.Global{Name: name + "_count", Size: 8, Init: make([]byte, 8)})
+	m.AddFunc(name+"_ioctl", true, body...)
+	m.AddGlobal(kcc.Global{Name: name + "_count", Size: 8 * MaxGuestCPUs, Init: make([]byte, 8*MaxGuestCPUs)})
 	return m
 }
 
@@ -80,6 +104,12 @@ func Dummy(name string) *kcc.Module {
 //	nvme_read(buf, lba, count)   — synchronous O_DIRECT-style read;
 //	                               returns the device-reported latency
 //	                               in cycles (0 on failure)
+//
+// The driver is SMP-correct: each vCPU owns submission/completion queue
+// slot smp_processor_id() (the queues must be sized for NumCPUs entries,
+// see sim.Machine.InitNVMe) and the completion latency is read from the
+// per-slot CQ entry, not from a shared device register — so concurrent
+// reads on different vCPUs never touch each other's queue state.
 func NVMe() *kcc.Module {
 	m := &kcc.Module{Name: "nvme"}
 	m.AddFunc("nvme_init", true,
@@ -95,25 +125,32 @@ func NVMe() *kcc.Module {
 	)
 	m.AddFunc("nvme_read", true,
 		// args: rdi=buf, rsi=lba, rdx=count
+		kcc.Call("smp_processor_id"),
+		kcc.MovReg(isa.R14, isa.RAX), // r14 = this CPU's queue slot
+		// SQ entry = sq + slot*32.
 		kcc.GlobalLoad(isa.RBX, "nvme_sq"),
+		kcc.ArithImm(kcc.OpShl, isa.RAX, 5),
+		kcc.Arith(kcc.OpAdd, isa.RBX, isa.RAX),
 		kcc.MovImm(isa.RAX, devices.NVMeCmdRead),
 		kcc.Store(isa.RBX, 0, isa.RAX),
 		kcc.Store(isa.RBX, 8, isa.RSI),
 		kcc.Store(isa.RBX, 16, isa.RDX),
 		kcc.Store(isa.RBX, 24, isa.RDI),
-		// Ring doorbell slot 0.
+		// Ring the doorbell with this CPU's slot.
 		kcc.GlobalLoad(isa.RCX, "nvme_mmio"),
-		kcc.MovImm(isa.RAX, 0),
-		kcc.Store(isa.RCX, devices.NVMeRegDoorbell, isa.RAX),
-		// Check the completion.
+		kcc.Store(isa.RCX, devices.NVMeRegDoorbell, isa.R14),
+		// Check the completion at cq + slot*16.
 		kcc.GlobalLoad(isa.RBX, "nvme_cq"),
+		kcc.MovReg(isa.RAX, isa.R14),
+		kcc.ArithImm(kcc.OpShl, isa.RAX, 4),
+		kcc.Arith(kcc.OpAdd, isa.RBX, isa.RAX),
 		kcc.Load(isa.RAX, isa.RBX, 0),
 		kcc.CmpImm(isa.RAX, 1),
 		kcc.Br(kcc.CondNE, "fail"),
-		// Clear the CQ entry and fetch the measured latency.
+		// Clear the CQ entry and fetch its measured latency.
 		kcc.MovImm(isa.RAX, 0),
 		kcc.Store(isa.RBX, 0, isa.RAX),
-		kcc.Load(isa.RAX, isa.RCX, devices.NVMeRegLatency),
+		kcc.Load(isa.RAX, isa.RBX, 8),
 		kcc.Ret(),
 		kcc.Label("fail"),
 		kcc.MovImm(isa.RAX, 0),
@@ -251,10 +288,11 @@ func Ext4Lite() *kcc.Module {
 }
 
 // FuseLite is the user-space-filesystem dispatcher used as extra
-// re-randomization load in Fig. 8.
+// re-randomization load in Fig. 8. Its request counter is per-CPU, like
+// the dummy driver's.
 func FuseLite() *kcc.Module {
 	m := &kcc.Module{Name: "fuse"}
-	m.AddFunc("fuse_dispatch", true,
+	body := []kcc.Ins{
 		// args: rdi=opcode. Route a few opcodes, count the rest.
 		kcc.CmpImm(isa.RDI, 1), // LOOKUP
 		kcc.Br(kcc.CondEQ, "hit"),
@@ -265,13 +303,17 @@ func FuseLite() *kcc.Module {
 		kcc.MovImm(isa.RAX, -38), // -ENOSYS
 		kcc.Ret(),
 		kcc.Label("hit"),
-		kcc.GlobalLoad(isa.RCX, "fuse_reqs"),
+	}
+	body = append(body, perCPUSlot(isa.RBX, "fuse_reqs")...)
+	body = append(body,
+		kcc.Load(isa.RCX, isa.RBX, 0),
 		kcc.ArithImm(kcc.OpAdd, isa.RCX, 1),
-		kcc.GlobalStore("fuse_reqs", isa.RCX),
+		kcc.Store(isa.RBX, 0, isa.RCX),
 		kcc.MovImm(isa.RAX, 0),
 		kcc.Ret(),
 	)
-	m.AddGlobal(kcc.Global{Name: "fuse_reqs", Size: 8, Init: make([]byte, 8)})
+	m.AddFunc("fuse_dispatch", true, body...)
+	m.AddGlobal(kcc.Global{Name: "fuse_reqs", Size: 8 * MaxGuestCPUs, Init: make([]byte, 8*MaxGuestCPUs)})
 	return m
 }
 

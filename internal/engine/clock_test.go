@@ -1,0 +1,54 @@
+package engine
+
+import "testing"
+
+func TestClockFiresActorsOnPeriod(t *testing.T) {
+	clk := NewClock()
+	var a, b int
+	clk.Schedule(Actor{Name: "a", PeriodUs: 10, Step: func() error { a++; return nil }})
+	clk.Schedule(Actor{Name: "b", PeriodUs: 25, Step: func() error { b++; return nil }})
+
+	if err := clk.Advance(9); err != nil { // t=9: nothing due
+		t.Fatal(err)
+	}
+	if a != 0 || b != 0 {
+		t.Fatalf("early fire: a=%d b=%d", a, b)
+	}
+	if err := clk.Advance(1); err != nil { // t=10: a fires once
+		t.Fatal(err)
+	}
+	if a != 1 || b != 0 {
+		t.Fatalf("t=10: a=%d b=%d", a, b)
+	}
+	if err := clk.Advance(65); err != nil { // t=75: a at 20..70 (6 more), b at 25,50,75 (3)
+		t.Fatal(err)
+	}
+	if a != 7 || b != 3 {
+		t.Fatalf("t=75: a=%d b=%d, want 7 and 3", a, b)
+	}
+}
+
+func TestClockActorOrderingOnSharedDeadline(t *testing.T) {
+	clk := NewClock()
+	var order []string
+	clk.Schedule(Actor{Name: "first", PeriodUs: 10, Step: func() error { order = append(order, "first"); return nil }})
+	clk.Schedule(Actor{Name: "second", PeriodUs: 10, Step: func() error { order = append(order, "second"); return nil }})
+	if err := clk.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("tie-break not registration order: %v", order)
+	}
+}
+
+func TestClockIgnoresNonPositivePeriods(t *testing.T) {
+	clk := NewClock()
+	fired := false
+	clk.Schedule(Actor{PeriodUs: 0, Step: func() error { fired = true; return nil }})
+	if err := clk.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("disabled actor fired")
+	}
+}

@@ -1,0 +1,252 @@
+// Package engine is the parallel execution engine behind sim.Machine.Run:
+// it schedules benchmark operations across all vCPUs as host goroutines
+// under a deterministic barrier-synchronized virtual clock.
+//
+// Execution model. The Ops operations of a measurement are dealt
+// round-robin onto lanes (lane l runs ops l, l+lanes, l+2·lanes, …, on
+// vCPU l), where lanes = min(Workers, NumCPUs, Ops). Each round runs one
+// op per lane concurrently — real goroutines interpreting real driver
+// code, contending on the real (lock-light) translation path — then hits
+// a barrier. With all vCPUs quiescent, the engine replays the round's
+// per-op costs into the closed-queueing model in op order, advancing the
+// virtual clock and firing clocked actors (the re-randomizer kthread)
+// whose deadlines were crossed. Actors therefore mutate the address
+// space only between rounds, which is what makes parallel execution
+// bit-reproducible: lane→op assignment is static, per-vCPU state (TLB,
+// decoded-instruction cache, stacks) evolves deterministically per lane,
+// and every cross-lane mutation happens at a deterministic barrier.
+//
+// Guest code run under more than one lane must be SMP-correct the same
+// way real driver code must be: per-CPU state keyed by smp_processor_id
+// (see internal/drivers), devices with per-slot queues, no unsynchronized
+// shared writes. Workloads additionally keep any host-side closure state
+// per-lane (indexed by cpu.CPU.ID) so results stay deterministic.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"adelie/internal/cpu"
+	"adelie/internal/kernel"
+	"adelie/internal/rerand"
+)
+
+// CPUHz is the nominal clock of the simulated testbed (Table 1).
+const CPUHz = 2.2e9
+
+// OpFunc executes one benchmark operation on the vCPU, returning the
+// device wait in cycles (time the CPU is idle on I/O) and any fault.
+type OpFunc func(c *cpu.CPU) (waitCycles uint64, err error)
+
+// EpochDevice is a device with round-granular (epoch) state semantics:
+// between BeginEpoch and EndEpoch, reads of modeled device state (e.g.
+// the NVMe controller's DRAM-cache contents) observe the epoch-start
+// snapshot while updates are buffered, and EndEpoch applies the buffer
+// in deterministic order. This keeps latencies independent of the host
+// scheduling order of lanes within a round.
+type EpochDevice interface {
+	BeginEpoch()
+	EndEpoch()
+}
+
+// RunConfig parameterizes a measurement.
+type RunConfig struct {
+	Ops            int     // operations to execute (sampled ops = all)
+	Workers        int     // concurrent clients (Figs. 7/8 sweeps)
+	RerandPeriodUs float64 // re-randomization period; 0 = disabled
+	SyscallCycles  uint64  // fixed kernel entry/exit + core-kernel path cost per op
+	BytesPerOp     float64 // payload size (for MB/s and the wire cap)
+	WireBps        float64 // wire bandwidth cap; 0 = none
+}
+
+// RunResult is one measured configuration — a point on a §5 figure.
+type RunResult struct {
+	OpsPerSec    float64
+	MBPerSec     float64
+	CPUUsagePct  float64 // across all vCPUs, as the paper reports
+	AvgOpMicros  float64
+	ElapsedSec   float64
+	BusyCycles   uint64 // interpreted + charged kernel cycles
+	WaitCycles   uint64 // device wait
+	RerandCycles uint64 // randomizer thread work
+	RerandSteps  int
+	Lanes        int // vCPUs that physically executed operations
+}
+
+// Engine drives measurements against one booted kernel.
+type Engine struct {
+	K     *kernel.Kernel
+	R     *rerand.Randomizer // optional; stepped as a clocked actor
+	Epoch []EpochDevice      // devices needing round-granular determinism
+}
+
+// New returns an engine over k. r may be nil (no re-randomization);
+// epoch devices may be empty.
+func New(k *kernel.Kernel, r *rerand.Randomizer, epoch ...EpochDevice) *Engine {
+	return &Engine{K: k, R: r, Epoch: epoch}
+}
+
+// lap records one lane's physical cost for the op it ran this round.
+type lap struct {
+	busy uint64
+	wait uint64
+	err  error
+}
+
+// Run executes cfg.Ops operations across the vCPUs, interleaving
+// clocked-actor steps on the virtual clock, and derives the
+// figure-level metrics.
+//
+// Concurrency model (closed queueing, first-order): each of the Workers
+// clients issues its next operation as soon as the previous completes.
+// An operation holds a CPU for its busy portion and overlaps its device /
+// client-round-trip wait with other workers. The sustainable rate is the
+// minimum of three ceilings:
+//
+//	workers/latency   — Little's law over the closed population,
+//	(N-1)/busy        — CPU capacity (one core's headroom reserved),
+//	wire/bytesPerOp   — link bandwidth.
+//
+// This is what produces the paper's curves: throughput rising with
+// concurrency until either the wire (Figs. 7/8) or the CPUs saturate.
+// Unlike the analytic model's population, the *physical* execution is
+// capped at NumCPUs lanes — the simulated machine cannot interpret more
+// concurrent operations than it has cores, exactly like the testbed.
+func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	ncpu := e.K.NumCPUs()
+	lanes := cfg.Workers
+	if lanes > ncpu {
+		lanes = ncpu
+	}
+	if lanes > cfg.Ops {
+		lanes = cfg.Ops
+	}
+
+	var res RunResult
+	res.Lanes = lanes
+	clk := NewClock()
+	if e.R != nil && cfg.RerandPeriodUs > 0 {
+		clk.Schedule(Actor{
+			Name:     "rerand",
+			PeriodUs: cfg.RerandPeriodUs,
+			Step: func() error {
+				rep, err := e.R.Step()
+				if err != nil {
+					return err
+				}
+				res.RerandCycles += rep.Cycles
+				res.RerandSteps++
+				return nil
+			},
+		})
+	}
+
+	// Persistent lane workers: one goroutine per lane for the whole
+	// measurement, signalled once per round. This keeps the per-round
+	// cost to a channel handshake instead of goroutine spawns, which
+	// matters when ops are microseconds long.
+	laps := make([]lap, lanes)
+	var wg sync.WaitGroup
+	var start []chan struct{}
+	if lanes > 1 {
+		start = make([]chan struct{}, lanes)
+		for l := 1; l < lanes; l++ {
+			start[l] = make(chan struct{}, 1)
+			go func(l int) {
+				for range start[l] {
+					laps[l] = e.runOne(l, op)
+					wg.Done()
+				}
+			}(l)
+		}
+		defer func() {
+			for l := 1; l < lanes; l++ {
+				close(start[l])
+			}
+		}()
+	}
+
+	for base := 0; base < cfg.Ops; base += lanes {
+		n := cfg.Ops - base
+		if n > lanes {
+			n = lanes
+		}
+		for _, d := range e.Epoch {
+			d.BeginEpoch()
+		}
+		if n > 1 {
+			wg.Add(n - 1)
+			for l := 1; l < n; l++ {
+				start[l] <- struct{}{}
+			}
+		}
+		// Lane 0 always runs on the calling goroutine: zero overhead on
+		// the latency-sensitive Workers=1 microbenchmarks.
+		laps[0] = e.runOne(0, op)
+		if n > 1 {
+			wg.Wait()
+		}
+		for _, d := range e.Epoch {
+			d.EndEpoch()
+		}
+
+		// Accounting pass: single-threaded, in op order, with every vCPU
+		// at the barrier. Clock advances here are where actors fire.
+		for l := 0; l < n; l++ {
+			if laps[l].err != nil {
+				return res, fmt.Errorf("engine: op %d: %w", base+l, laps[l].err)
+			}
+			busy := laps[l].busy + cfg.SyscallCycles
+			res.BusyCycles += busy
+			res.WaitCycles += laps[l].wait
+
+			busyUs := float64(busy) / CPUHz * 1e6
+			latencyUs := float64(busy+laps[l].wait) / CPUHz * 1e6
+			ratePerUs := float64(cfg.Workers) / latencyUs
+			if busyUs > 0 {
+				if cpuRate := float64(ncpu-1) / busyUs; cpuRate < ratePerUs {
+					ratePerUs = cpuRate
+				}
+			}
+			if cfg.WireBps > 0 && cfg.BytesPerOp > 0 {
+				if wireRate := cfg.WireBps / cfg.BytesPerOp / 1e6; wireRate < ratePerUs {
+					ratePerUs = wireRate
+				}
+			}
+			if err := clk.Advance(1 / ratePerUs); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	elapsedUs := clk.NowUs()
+	res.ElapsedSec = elapsedUs / 1e6
+	if res.ElapsedSec > 0 {
+		res.OpsPerSec = float64(cfg.Ops) / res.ElapsedSec
+		res.MBPerSec = res.OpsPerSec * cfg.BytesPerOp / 1e6
+	}
+	res.AvgOpMicros = elapsedUs / float64(cfg.Ops)
+	totalCycles := float64(ncpu) * res.ElapsedSec * CPUHz
+	if totalCycles > 0 {
+		// Worker busy time is per-op busy × ops (all workers included:
+		// each op's busy cycles were executed once on some core).
+		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles)) / totalCycles * 100
+	}
+	return res, nil
+}
+
+// runOne executes a single operation on lane l's vCPU and measures its
+// interpreted cost.
+func (e *Engine) runOne(l int, op OpFunc) lap {
+	c := e.K.CPU(l)
+	before := c.Cycles
+	wait, err := op(c)
+	return lap{busy: c.Cycles - before, wait: wait, err: err}
+}

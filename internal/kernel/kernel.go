@@ -57,6 +57,12 @@ type Config struct {
 	DisableFig4Patching bool
 }
 
+// MaxCPUs bounds the vCPU count of a machine. Drivers carry per-CPU
+// data arrays sized for this many CPUs (drivers.MaxGuestCPUs mirrors
+// it), so a larger machine would make guest per-CPU stores run past
+// their arrays; New rejects it up front.
+const MaxCPUs = 64
+
 // Fixed layout constants for the simulated kernel half.
 const (
 	kernelImageSpan = 1 << 30 // kernel image lands in the first GB of the half
@@ -113,6 +119,9 @@ type vaRegion struct{ lo, hi uint64 }
 func New(cfg Config) (*Kernel, error) {
 	if cfg.NumCPUs <= 0 {
 		cfg.NumCPUs = 20
+	}
+	if cfg.NumCPUs > MaxCPUs {
+		return nil, fmt.Errorf("kernel: NumCPUs %d exceeds MaxCPUs %d (per-CPU driver arrays are sized for MaxCPUs)", cfg.NumCPUs, MaxCPUs)
 	}
 	k := &Kernel{
 		Cfg:       cfg,
@@ -453,6 +462,15 @@ func (k *Kernel) registerCoreNatives() {
 	// which is exactly where Fig. 5b's "slight performance hit of the
 	// PIC code" comes from.
 	k.defineNativeLocked("cond_resched", 10, func(c *cpu.CPU) error {
+		return nil
+	})
+	// smp_processor_id returns the executing vCPU's index. Drivers use it
+	// to address per-CPU state (counters, per-CPU device queue slots) so
+	// their data paths are SMP-correct when the engine runs operations on
+	// several vCPUs concurrently — the same this_cpu_* discipline real
+	// Linux drivers follow.
+	k.defineNativeLocked("smp_processor_id", 5, func(c *cpu.CPU) error {
+		c.Regs[0] = uint64(c.ID) // RAX
 		return nil
 	})
 	// queue_work(fn, arg) defers fn(arg) to workqueue context (§3.4).

@@ -36,6 +36,7 @@ func (as *AddressSpace) WriteBytes(va uint64, b []byte) error {
 			chunk = len(b)
 		}
 		copy(as.phys.Frame(frame)[off:off+chunk], b[:chunk])
+		as.phys.NoteWrite(frame)
 		va += uint64(chunk)
 		b = b[chunk:]
 	}
@@ -58,6 +59,7 @@ func (as *AddressSpace) WriteBytesForce(va uint64, b []byte) error {
 			chunk = len(b)
 		}
 		copy(as.phys.Frame(frame)[off:off+chunk], b[:chunk])
+		as.phys.NoteWrite(frame)
 		va += uint64(chunk)
 		b = b[chunk:]
 	}
@@ -103,6 +105,7 @@ func (as *AddressSpace) Write64(va uint64, val uint64) error {
 	off := va & PageMask
 	if off+8 <= PageSize {
 		binary.LittleEndian.PutUint64(as.phys.Frame(frame)[off:off+8], val)
+		as.phys.NoteWrite(frame)
 		return nil
 	}
 	var b [8]byte

@@ -110,11 +110,28 @@ func (e *PageFault) Error() string {
 	return fmt.Sprintf("page fault: %s at %#x (%s)", e.Access, e.VA, e.Reason)
 }
 
+// frameData is one physical frame plus the metadata the execution fast
+// paths need. The content version is bumped on every write to a frame
+// that is (or ever was) mapped executable; per-vCPU decoded-instruction
+// caches validate against it, which closes the W^X hole of writing a
+// code page through a writable alias mapping.
+type frameData struct {
+	data [PageSize]byte
+	ver  atomic.Uint64 // content version (see NoteWrite)
+	exec atomic.Bool   // frame has been mapped executable at least once
+}
+
 // PhysMem is the physical memory of the machine: a growable set of 4 KB
 // frames with a free list. Frames are zeroed on allocation.
+//
+// The frame table is published through an atomic pointer so that the
+// translation fast path (vCPUs running concurrently on host goroutines)
+// can index frames without taking the allocator lock. Alloc appends
+// under the lock, then republishes; readers always observe a prefix
+// that is fully initialized.
 type PhysMem struct {
 	mu     sync.Mutex
-	frames []*[PageSize]byte
+	frames atomic.Pointer[[]*frameData]
 	free   []FrameID
 
 	allocated   atomic.Int64 // currently live frames
@@ -122,7 +139,14 @@ type PhysMem struct {
 }
 
 // NewPhysMem returns an empty physical memory.
-func NewPhysMem() *PhysMem { return &PhysMem{} }
+func NewPhysMem() *PhysMem {
+	p := &PhysMem{}
+	empty := make([]*frameData, 0)
+	p.frames.Store(&empty)
+	return p
+}
+
+func (p *PhysMem) table() []*frameData { return *p.frames.Load() }
 
 // Alloc allocates a zeroed frame.
 func (p *PhysMem) Alloc() FrameID {
@@ -133,11 +157,20 @@ func (p *PhysMem) Alloc() FrameID {
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
 		p.free = p.free[:n-1]
-		*p.frames[id] = [PageSize]byte{}
+		f := p.table()[id]
+		f.data = [PageSize]byte{}
+		// A recycled frame may carry decoded-instruction cache entries
+		// from its previous life; invalidate them and reset exec.
+		f.ver.Add(1)
+		f.exec.Store(false)
 		return id
 	}
-	p.frames = append(p.frames, new([PageSize]byte))
-	return FrameID(len(p.frames) - 1)
+	fs := p.table()
+	nfs := make([]*frameData, len(fs)+1)
+	copy(nfs, fs)
+	nfs[len(fs)] = &frameData{}
+	p.frames.Store(&nfs)
+	return FrameID(len(fs))
 }
 
 // AllocN allocates n zeroed frames.
@@ -154,23 +187,45 @@ func (p *PhysMem) AllocN(n int) []FrameID {
 func (p *PhysMem) Free(id FrameID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if int(id) >= len(p.frames) {
+	if int(id) >= len(p.table()) {
 		panic(fmt.Sprintf("mm: free of invalid frame %d", id))
 	}
 	p.allocated.Add(-1)
 	p.free = append(p.free, id)
 }
 
-// Frame returns the backing bytes of a frame. The caller must not retain
-// the slice across a Free of the same frame.
-func (p *PhysMem) Frame(id FrameID) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if int(id) >= len(p.frames) {
+// frame returns the frame record, lock-free.
+func (p *PhysMem) frame(id FrameID) *frameData {
+	fs := p.table()
+	if int(id) >= len(fs) {
 		panic(fmt.Sprintf("mm: access to invalid frame %d", id))
 	}
-	return p.frames[id][:]
+	return fs[id]
 }
+
+// Frame returns the backing bytes of a frame. The caller must not retain
+// the slice across a Free of the same frame.
+func (p *PhysMem) Frame(id FrameID) []byte { return p.frame(id).data[:] }
+
+// FrameVersion returns the content version of a frame. It only advances
+// on writes to exec-mapped frames (and on frame recycling), so decoded
+// code cached against a version stays valid exactly while the frame's
+// bytes are unchanged.
+func (p *PhysMem) FrameVersion(id FrameID) uint64 { return p.frame(id).ver.Load() }
+
+// NoteWrite records that a frame's contents changed. Only exec-mapped
+// frames pay the version bump; plain data frames keep writes free.
+func (p *PhysMem) NoteWrite(id FrameID) {
+	if f := p.frame(id); f.exec.Load() {
+		f.ver.Add(1)
+	}
+}
+
+// MarkExec flags a frame as reachable through an executable mapping,
+// arming write tracking for decoded-instruction invalidation. The flag
+// is sticky until the frame is freed and recycled: conservative, but it
+// keeps the check on the store fast path a single atomic load.
+func (p *PhysMem) MarkExec(id FrameID) { p.frame(id).exec.Store(true) }
 
 // Live returns the number of currently allocated frames.
 func (p *PhysMem) Live() int64 { return p.allocated.Load() }
@@ -206,10 +261,11 @@ type table struct {
 }
 
 // AddressSpace is one virtual address space backed by 5-level page tables.
-// All mutating operations take the lock; translations are also locked (the
-// per-CPU TLB in front of it keeps the hot path cheap).
+// Mutating operations take the write lock; translations take the read
+// lock only, so concurrent vCPUs do not serialize on the page tables
+// (the per-CPU TLBs in front keep even the read lock off the hot path).
 type AddressSpace struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	root *table
 	phys *PhysMem
 	mmio []mmioRegion
@@ -237,8 +293,8 @@ func (as *AddressSpace) Shootdowns() int64 { return as.shootdowns.Load() }
 
 // MappedPages returns the number of currently mapped pages.
 func (as *AddressSpace) MappedPages() int {
-	as.mu.Lock()
-	defer as.mu.Unlock()
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	return as.mapped
 }
 
@@ -311,6 +367,9 @@ func (as *AddressSpace) Map(va uint64, frame FrameID, flags PageFlags) error {
 	t.entries[ix[numLevels-1]] = &pte{frame: frame, flags: flags, leaf: true}
 	t.used++
 	as.mapped++
+	if flags&FlagExec != 0 {
+		as.phys.MarkExec(frame)
+	}
 	return nil
 }
 
@@ -368,6 +427,9 @@ func (as *AddressSpace) Protect(va uint64, flags PageFlags) error {
 		return fmt.Errorf("mm: Protect: va %#x not mapped", va)
 	}
 	e.flags = flags
+	if flags&FlagExec != 0 {
+		as.phys.MarkExec(e.frame)
+	}
 	as.gen.Add(1)
 	as.shootdowns.Add(1)
 	return nil
@@ -375,8 +437,8 @@ func (as *AddressSpace) Protect(va uint64, flags PageFlags) error {
 
 // Lookup returns the frame and flags mapping the page containing va.
 func (as *AddressSpace) Lookup(va uint64) (FrameID, PageFlags, bool) {
-	as.mu.Lock()
-	defer as.mu.Unlock()
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	e := as.walk(va &^ PageMask)
 	if e == nil {
 		return NoFrame, 0, false
@@ -384,21 +446,66 @@ func (as *AddressSpace) Lookup(va uint64) (FrameID, PageFlags, bool) {
 	return e.frame, e.flags, true
 }
 
+// Entry is one resolved translation, as cached by TLBs and consumed by
+// the CPU fast paths. For non-MMIO pages it carries a direct pointer to
+// the frame record so loads, stores and instruction fetch can touch
+// memory without re-walking the page tables or locking the allocator.
+type Entry struct {
+	Frame FrameID
+	Flags PageFlags
+	fd    *frameData // nil for MMIO pages
+}
+
+// Bytes returns the frame's backing bytes (nil for MMIO pages).
+func (e Entry) Bytes() []byte {
+	if e.fd == nil {
+		return nil
+	}
+	return e.fd.data[:]
+}
+
+// Version returns the frame's content version (0 for MMIO pages).
+func (e Entry) Version() uint64 {
+	if e.fd == nil {
+		return 0
+	}
+	return e.fd.ver.Load()
+}
+
+// NoteWrite records a content change through this translation (decoded
+// instruction caches watch exec-mapped frames; see PhysMem.NoteWrite).
+func (e Entry) NoteWrite() {
+	if e.fd != nil && e.fd.exec.Load() {
+		e.fd.ver.Add(1)
+	}
+}
+
 // Translate checks permissions and returns the frame for an access at va.
 func (as *AddressSpace) Translate(va uint64, access Access) (FrameID, PageFlags, error) {
+	e, err := as.TranslateEntry(va, access)
+	return e.Frame, e.Flags, err
+}
+
+// TranslateEntry is Translate returning the full fast-path Entry. It
+// takes only the read lock: concurrent vCPUs translate in parallel.
+func (as *AddressSpace) TranslateEntry(va uint64, access Access) (Entry, error) {
 	if err := checkVA(va); err != nil {
-		return NoFrame, 0, err
+		return Entry{Frame: NoFrame}, err
 	}
-	as.mu.Lock()
+	as.mu.RLock()
 	e := as.walk(va &^ PageMask)
-	as.mu.Unlock()
+	as.mu.RUnlock()
 	if e == nil {
-		return NoFrame, 0, &PageFault{VA: va, Access: access, Reason: "not mapped"}
+		return Entry{Frame: NoFrame}, &PageFault{VA: va, Access: access, Reason: "not mapped"}
 	}
 	if err := checkPerm(va, e.flags, access); err != nil {
-		return NoFrame, 0, err
+		return Entry{Frame: NoFrame}, err
 	}
-	return e.frame, e.flags, nil
+	out := Entry{Frame: e.frame, Flags: e.flags}
+	if e.flags&FlagMMIO == 0 {
+		out.fd = as.phys.frame(e.frame)
+	}
+	return out, nil
 }
 
 func checkPerm(va uint64, flags PageFlags, access Access) error {
@@ -464,16 +571,16 @@ func (as *AddressSpace) RemapRegion(newBase, oldBase uint64, npages int) error {
 		flags PageFlags
 	}
 	infos := make([]pageInfo, npages)
-	as.mu.Lock()
+	as.mu.RLock()
 	for i := 0; i < npages; i++ {
 		e := as.walk(oldBase + uint64(i)*PageSize)
 		if e == nil {
-			as.mu.Unlock()
+			as.mu.RUnlock()
 			return fmt.Errorf("mm: RemapRegion: source page %#x not mapped", oldBase+uint64(i)*PageSize)
 		}
 		infos[i] = pageInfo{e.frame, e.flags}
 	}
-	as.mu.Unlock()
+	as.mu.RUnlock()
 	for i, pi := range infos {
 		if err := as.Map(newBase+uint64(i)*PageSize, pi.frame, pi.flags); err != nil {
 			for j := 0; j < i; j++ {
@@ -523,8 +630,8 @@ func (as *AddressSpace) RegisterMMIO(base uint64, npages int, handler MMIOHandle
 // mmioFor returns the handler and region-relative offset for va, if va
 // falls inside a registered MMIO region.
 func (as *AddressSpace) mmioFor(va uint64) (MMIOHandler, uint64, bool) {
-	as.mu.Lock()
-	defer as.mu.Unlock()
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	for _, r := range as.mmio {
 		end := r.base + uint64(r.npages)*PageSize
 		if va >= r.base && va < end {

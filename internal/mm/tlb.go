@@ -4,9 +4,14 @@ package mm
 // re-randomization forces page-table updates and therefore TLB flushes
 // (paper §4.3 names this the unavoidable cost of any remapping approach),
 // so the model charges a refill penalty for every miss after a shootdown.
+//
+// Cached entries carry the full fast-path Entry (including the frame
+// data pointer), so a TLB hit resolves a load, store or fetch without
+// touching the address-space lock or the frame allocator at all — the
+// lock-light translation path concurrent vCPUs run on.
 type TLB struct {
 	as      *AddressSpace
-	entries map[uint64]tlbEntry
+	entries map[uint64]Entry
 	cap     int
 	gen     uint64 // address-space generation the cached entries belong to
 
@@ -15,23 +20,18 @@ type TLB struct {
 	flushes uint64
 }
 
-type tlbEntry struct {
-	frame FrameID
-	flags PageFlags
-}
-
 // DefaultTLBSize approximates a modern L2 STLB (entries, not bytes).
 const DefaultTLBSize = 1536
 
 // NewTLB returns a TLB caching translations of as.
 func NewTLB(as *AddressSpace) *TLB {
-	return &TLB{as: as, entries: make(map[uint64]tlbEntry), cap: DefaultTLBSize}
+	return &TLB{as: as, entries: make(map[uint64]Entry), cap: DefaultTLBSize}
 }
 
-// Translate resolves va for the given access kind, consulting the cache
+// Entry resolves va for the given access kind, consulting the cache
 // first. The boolean result reports whether the translation was a hit;
 // callers use it to charge a miss penalty.
-func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, error) {
+func (t *TLB) Entry(va uint64, access Access) (Entry, bool, error) {
 	if g := t.as.Generation(); g != t.gen {
 		// A shootdown occurred since we last filled: flush everything.
 		t.Flush()
@@ -39,16 +39,16 @@ func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, err
 	}
 	page := va &^ PageMask
 	if e, ok := t.entries[page]; ok {
-		if err := checkPerm(va, e.flags, access); err != nil {
-			return NoFrame, 0, true, err
+		if err := checkPerm(va, e.Flags, access); err != nil {
+			return Entry{Frame: NoFrame}, true, err
 		}
 		t.hits++
-		return e.frame, e.flags, true, nil
+		return e, true, nil
 	}
 	t.misses++
-	frame, flags, err := t.as.Translate(va, access)
+	e, err := t.as.TranslateEntry(va, access)
 	if err != nil {
-		return NoFrame, 0, false, err
+		return Entry{Frame: NoFrame}, false, err
 	}
 	if len(t.entries) >= t.cap {
 		// Evict an arbitrary entry; capacity pressure, not recency, is the
@@ -58,8 +58,15 @@ func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, err
 			break
 		}
 	}
-	t.entries[page] = tlbEntry{frame: frame, flags: flags}
-	return frame, flags, false, nil
+	t.entries[page] = e
+	return e, false, nil
+}
+
+// Translate resolves va for the given access kind, returning the frame
+// and flags (compatibility form of Entry).
+func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, error) {
+	e, hit, err := t.Entry(va, access)
+	return e.Frame, e.Flags, hit, err
 }
 
 // Flush drops all cached translations.

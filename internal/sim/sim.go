@@ -4,26 +4,27 @@
 // xHCI controller, the driver suite, and the re-randomizer.
 //
 // Its Run method is the measurement harness every figure uses: it
-// executes operations on a vCPU (interpreting the real driver code paths,
-// so wrapper/prologue/retpoline/GOT costs and post-remap TLB misses are
-// all physically incurred), advances a deterministic virtual clock,
-// fires the re-randomizer at its configured period on that clock, and
-// reports throughput and all-core CPU usage the way §5 does.
+// executes operations concurrently on the vCPUs via internal/engine
+// (interpreting the real driver code paths, so wrapper/prologue/
+// retpoline/GOT costs and post-remap TLB misses are all physically
+// incurred), advances a deterministic virtual clock, fires the
+// re-randomizer at its configured period on that clock, and reports
+// throughput and all-core CPU usage the way §5 does.
 package sim
 
 import (
 	"fmt"
 
-	"adelie/internal/cpu"
 	"adelie/internal/devices"
 	"adelie/internal/drivers"
+	"adelie/internal/engine"
 	"adelie/internal/kernel"
 	"adelie/internal/mm"
 	"adelie/internal/rerand"
 )
 
 // CPUHz is the nominal clock of the simulated testbed (Table 1).
-const CPUHz = 2.2e9
+const CPUHz = engine.CPUHz
 
 // MMIO window bases (inside the kernel half, away from other regions).
 const (
@@ -116,13 +117,16 @@ func (m *Machine) Call(sym string, args ...uint64) (uint64, error) {
 }
 
 // InitNVMe allocates submission/completion queues and initializes the
-// loaded NVMe driver against the controller.
+// loaded NVMe driver against the controller. The queues carry one slot
+// per vCPU (the driver dedicates slot smp_processor_id() to each CPU),
+// so concurrent reads issued by the engine never share an entry.
 func (m *Machine) InitNVMe() error {
-	sq, err := m.K.Kmalloc(32 * 16)
+	ncpu := uint64(m.K.NumCPUs())
+	sq, err := m.K.Kmalloc(ncpu * 32)
 	if err != nil {
 		return err
 	}
-	cq, err := m.K.Kmalloc(16 * 16)
+	cq, err := m.K.Kmalloc(ncpu * 16)
 	if err != nil {
 		return err
 	}
@@ -168,107 +172,28 @@ func (m *Machine) Module(name string) *kernel.Module { return m.mods[name] }
 
 // OpFunc executes one benchmark operation on the vCPU, returning the
 // device wait in cycles (time the CPU is idle on I/O) and any fault.
-type OpFunc func(c *cpu.CPU) (waitCycles uint64, err error)
+// Operations run concurrently on up to min(Workers, NumCPUs) vCPUs;
+// any host-side closure state must be kept per-lane (index it by c.ID),
+// and guest code on the path must be SMP-correct (see internal/engine).
+type OpFunc = engine.OpFunc
 
 // RunConfig parameterizes a measurement.
-type RunConfig struct {
-	Ops            int     // operations to execute (sampled ops = all)
-	Workers        int     // concurrent clients (Figs. 7/8 sweeps)
-	RerandPeriodUs float64 // re-randomization period; 0 = disabled
-	SyscallCycles  uint64  // fixed kernel entry/exit + core-kernel path cost per op
-	BytesPerOp     float64 // payload size (for MB/s and the wire cap)
-	WireBps        float64 // wire bandwidth cap; 0 = none
-}
+type RunConfig = engine.RunConfig
 
 // RunResult is one measured configuration — a point on a §5 figure.
-type RunResult struct {
-	OpsPerSec    float64
-	MBPerSec     float64
-	CPUUsagePct  float64 // across all vCPUs, as the paper reports
-	AvgOpMicros  float64
-	ElapsedSec   float64
-	BusyCycles   uint64 // interpreted + charged kernel cycles
-	WaitCycles   uint64 // device wait
-	RerandCycles uint64 // randomizer thread work
-	RerandSteps  int
+type RunResult = engine.RunResult
+
+// Engine returns the parallel execution engine for this machine, with
+// the re-randomizer scheduled as a clocked actor and the NVMe controller
+// registered for epoch (round-granular) cache semantics.
+func (m *Machine) Engine() *engine.Engine {
+	return engine.New(m.K, m.R, m.NVMe)
 }
 
-// Run executes cfg.Ops operations, interleaving re-randomizer steps on
-// the virtual clock, and derives the figure-level metrics.
-//
-// Concurrency model (closed queueing, first-order): each of the Workers
-// clients issues its next operation as soon as the previous completes.
-// An operation holds a CPU for its busy portion and overlaps its device /
-// client-round-trip wait with other workers. The sustainable rate is the
-// minimum of three ceilings:
-//
-//	workers/latency   — Little's law over the closed population,
-//	(N-1)/busy        — CPU capacity (one core's headroom reserved),
-//	wire/bytesPerOp   — link bandwidth.
-//
-// This is what produces the paper's curves: throughput rising with
-// concurrency until either the wire (Figs. 7/8) or the CPUs saturate.
+// Run executes cfg.Ops operations across the machine's vCPUs under the
+// deterministic barrier-synchronized virtual clock, interleaving
+// re-randomizer steps, and derives the figure-level metrics. See
+// engine.Engine.Run for the execution and queueing model.
 func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
-	if cfg.Ops <= 0 {
-		cfg.Ops = 1000
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 1
-	}
-	c := m.K.CPU(0)
-	ncpu := m.K.NumCPUs()
-
-	var res RunResult
-	var elapsedUs float64
-	nextRerand := cfg.RerandPeriodUs
-
-	for i := 0; i < cfg.Ops; i++ {
-		before := c.Cycles
-		wait, err := op(c)
-		if err != nil {
-			return res, fmt.Errorf("sim: op %d: %w", i, err)
-		}
-		busy := c.Cycles - before + cfg.SyscallCycles
-		res.BusyCycles += busy
-		res.WaitCycles += wait
-
-		busyUs := float64(busy) / CPUHz * 1e6
-		latencyUs := float64(busy+wait) / CPUHz * 1e6
-		ratePerUs := float64(cfg.Workers) / latencyUs
-		if busyUs > 0 {
-			if cpuRate := float64(ncpu-1) / busyUs; cpuRate < ratePerUs {
-				ratePerUs = cpuRate
-			}
-		}
-		if cfg.WireBps > 0 && cfg.BytesPerOp > 0 {
-			if wireRate := cfg.WireBps / cfg.BytesPerOp / 1e6; wireRate < ratePerUs {
-				ratePerUs = wireRate
-			}
-		}
-		elapsedUs += 1 / ratePerUs
-
-		for cfg.RerandPeriodUs > 0 && elapsedUs >= nextRerand {
-			rep, err := m.R.Step()
-			if err != nil {
-				return res, err
-			}
-			res.RerandCycles += rep.Cycles
-			res.RerandSteps++
-			nextRerand += cfg.RerandPeriodUs
-		}
-	}
-
-	res.ElapsedSec = elapsedUs / 1e6
-	if res.ElapsedSec > 0 {
-		res.OpsPerSec = float64(cfg.Ops) / res.ElapsedSec
-		res.MBPerSec = res.OpsPerSec * cfg.BytesPerOp / 1e6
-	}
-	res.AvgOpMicros = elapsedUs / float64(cfg.Ops)
-	totalCycles := float64(ncpu) * res.ElapsedSec * CPUHz
-	if totalCycles > 0 {
-		// Worker busy time is per-op busy × ops (all workers included:
-		// each op's busy cycles were executed once on some core).
-		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles)) / totalCycles * 100
-	}
-	return res, nil
+	return m.Engine().Run(cfg, op)
 }

@@ -1,6 +1,9 @@
 package smr
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Hyaline implements the reclamation scheme Adelie integrates into the
 // Linux kernel. Its distinguishing property — the reason the paper picks
@@ -87,7 +90,11 @@ func (h *Hyaline) Retire(free func()) {
 		s := &h.slots[i]
 		s.mu.Lock()
 		if s.nesting > 0 {
-			b.refs++
+			// Atomic: a reader appended to an earlier slot may already be
+			// decrementing concurrently. The retirer's own reference keeps
+			// the count positive until the loop finishes, so the batch
+			// cannot be freed early.
+			atomic.AddInt64(&b.refs, 1)
 			s.pending = append(s.pending, b)
 		}
 		s.mu.Unlock()

@@ -104,14 +104,18 @@ func DD(cfg Config, blockKB, ops int) (DDRow, error) {
 	if pages == 0 {
 		pages = 1
 	}
-	var blk uint64
+	// Per-lane file positions: ops run concurrently on several vCPUs, so
+	// each lane advances its own sequential stream (deterministic, since
+	// the engine's lane→op assignment is static).
+	blks := make([]uint64, m.K.NumCPUs())
 	op := func(c *cpu.CPU) (uint64, error) {
+		blk := &blks[c.ID]
 		for p := 0; p < pages; p++ {
-			if _, err := c.Call(getBlock, 1, blk%4096); err != nil {
+			if _, err := c.Call(getBlock, 1, *blk%4096); err != nil {
 				return 0, err
 			}
 			burn(c, PageCopyCost)
-			blk++
+			*blk++
 		}
 		return 0, nil
 	}
@@ -162,24 +166,30 @@ func Sysbench(cfg Config, mode string, ops int) (SysbenchRow, error) {
 	if err != nil {
 		return SysbenchRow{}, err
 	}
-	rng := rand.New(rand.NewSource(77))
 	const ioBytes = 16 * 1024
-	var seq uint64
+	// Per-lane streams and RNGs (4 workers run on 4 vCPUs concurrently).
+	ncpu := m.K.NumCPUs()
+	rngs := make([]*rand.Rand, ncpu)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(77 + int64(i)))
+	}
+	seqs := make([]uint64, ncpu)
 	op := func(c *cpu.CPU) (uint64, error) {
+		lane := c.ID
 		lookups := 4 // 16 KB = 4 pages
 		if mode == "rndrd" {
 			lookups++ // extent lookup restarts on a random offset
 		}
 		for i := 0; i < lookups; i++ {
-			blk := seq
+			blk := seqs[lane]
 			if mode == "rndrd" {
-				blk = uint64(rng.Intn(4096))
+				blk = uint64(rngs[lane].Intn(4096))
 			}
 			if _, err := c.Call(getBlock, 1, blk); err != nil {
 				return 0, err
 			}
 			burn(c, PageCopyCost)
-			seq++
+			seqs[lane]++
 		}
 		return 0, nil
 	}

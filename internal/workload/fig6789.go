@@ -143,13 +143,27 @@ func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, err
 	if err := m.InitNVMe(); err != nil {
 		return OLTPRow{}, err
 	}
-	if _, err := m.InitNIC("e1000e"); err != nil {
+	ringLen, err := m.InitNIC("e1000e")
+	if err != nil {
 		return OLTPRow{}, err
 	}
 	m.NVMe.Preload(100, []byte("db page"))
-	buf, err := m.K.Kmalloc(4096)
-	if err != nil {
-		return OLTPRow{}, err
+	// Per-lane I/O buffers, RNGs and TX-descriptor partitions: lanes run
+	// concurrently, so each owns its DMA target, its randomness stream
+	// and a disjoint stripe of the NIC ring.
+	ncpu := m.K.NumCPUs()
+	bufs := make([]uint64, ncpu)
+	rngs := make([]*rand.Rand, ncpu)
+	frames := make([]uint64, ncpu)
+	for i := 0; i < ncpu; i++ {
+		if bufs[i], err = m.K.Kmalloc(4096); err != nil {
+			return OLTPRow{}, err
+		}
+		rngs[i] = rand.New(rand.NewSource(7 + int64(i)))
+	}
+	slotsPerLane := ringLen / uint64(ncpu)
+	if slotsPerLane == 0 {
+		slotsPerLane = 1
 	}
 	readVA, err := callVA(m, "nvme_read")
 	if err != nil {
@@ -159,10 +173,10 @@ func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, err
 	if err != nil {
 		return OLTPRow{}, err
 	}
-	rng := rand.New(rand.NewSource(7))
 	const respBytes = 44_000 // result set per transaction
-	var slot uint64
 	op := func(c *cpu.CPU) (uint64, error) {
+		lane := c.ID
+		rng, buf := rngs[lane], bufs[lane]
 		var wait uint64
 		for q := 0; q < 10; q++ {
 			burn(c, OLTPQueryCost)
@@ -176,12 +190,14 @@ func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, err
 				wait += lat
 			}
 		}
-		// Return the result set: one driver xmit per MTU-sized frame.
+		// Return the result set: one driver xmit per MTU-sized frame,
+		// cycling through this lane's stripe of the TX ring.
 		for b := 0; b < respBytes; b += 1448 {
+			slot := uint64(lane)*slotsPerLane + frames[lane]%slotsPerLane
 			if _, err := c.Call(xmitVA, buf, 1448, slot); err != nil {
 				return 0, err
 			}
-			slot++
+			frames[lane]++
 		}
 		// Client round-trip think time (the load generator is a separate
 		// box; latency off the server's CPUs).
@@ -253,15 +269,27 @@ func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int
 	if err := m.InitNVMe(); err != nil {
 		return ApacheRow{}, err
 	}
-	if _, err := m.InitNIC("e1000e"); err != nil {
+	ringLen, err := m.InitNIC("e1000e")
+	if err != nil {
 		return ApacheRow{}, err
 	}
 	if err := m.InitXHCI(); err != nil {
 		return ApacheRow{}, err
 	}
-	buf, err := m.K.Kmalloc(8192)
-	if err != nil {
-		return ApacheRow{}, err
+	// Per-lane buffers, RNGs and ring stripes (see OLTP).
+	ncpu := m.K.NumCPUs()
+	bufs := make([]uint64, ncpu)
+	rngs := make([]*rand.Rand, ncpu)
+	frames := make([]uint64, ncpu)
+	for i := 0; i < ncpu; i++ {
+		if bufs[i], err = m.K.Kmalloc(8192); err != nil {
+			return ApacheRow{}, err
+		}
+		rngs[i] = rand.New(rand.NewSource(9 + int64(i)))
+	}
+	slotsPerLane := ringLen / uint64(ncpu)
+	if slotsPerLane == 0 {
+		slotsPerLane = 1
 	}
 	pollVA, err := callVA(m, "e1000e_poll_rx")
 	if err != nil {
@@ -279,12 +307,13 @@ func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int
 	if err != nil {
 		return ApacheRow{}, err
 	}
-	rng := rand.New(rand.NewSource(9))
-	var slot uint64
 	op := func(c *cpu.CPU) (uint64, error) {
+		lane := c.ID
+		rng, buf := rngs[lane], bufs[lane]
+		laneSlot := func() uint64 { return uint64(lane)*slotsPerLane + frames[lane]%slotsPerLane }
 		var wait uint64
-		// Receive + parse the request.
-		if _, err := c.Call(pollVA, slot); err != nil {
+		// Receive + parse the request (this lane's stripe of the RX ring).
+		if _, err := c.Call(pollVA, laneSlot()); err != nil {
 			return 0, err
 		}
 		burn(c, HTTPAppCost)
@@ -302,10 +331,10 @@ func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int
 		}
 		// Send the response, one frame per MTU.
 		for b := 0; b < blockBytes+300; b += 1448 {
-			if _, err := c.Call(xmitVA, buf, 1448, slot); err != nil {
+			if _, err := c.Call(xmitVA, buf, 1448, laneSlot()); err != nil {
 				return 0, err
 			}
-			slot++
+			frames[lane]++
 		}
 		// Client-side round trip.
 		wait += 5_500_000 // ≈2.5 ms
