@@ -12,7 +12,9 @@
 // per interpreted operation on the hot figure paths) rather than the
 // simulated metrics; with -json FILE the results are written as a JSON
 // record so successive PRs can track the interpreter's real speed
-// (BENCH_seed.json, BENCH_pr1.json, ...).
+// (BENCH_seed.json, BENCH_pr1.json, ...). The -check flag compares a
+// recorded selfbench JSON against the best committed BENCH_*.json and
+// exits non-zero on a >20% dd-path regression — the CI bench gate.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -31,8 +34,18 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced op counts")
 	jsonPath := flag.String("json", "", "write selfbench results to this JSON file")
+	checkPath := flag.String("check", "", "compare this selfbench JSON against the best BENCH_*.json; exit 1 on >20% dd regression")
 	flag.Parse()
 	args := flag.Args()
+	if *checkPath != "" {
+		if err := checkRegression(*checkPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtool: check: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -60,9 +73,76 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-json FILE] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-json FILE] [-check FILE] <experiment>...
 experiments: fig1 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10
              table2 scalability security ablation selfbench all`)
+}
+
+// ddBenchKey is the hot-path figure the performance trajectory tracks.
+const ddBenchKey = "fig5b_dd64_picret"
+
+// regressionMargin is how much slower than the best recorded baseline
+// the gated run may be before the check fails. The default matches the
+// repo's 20% policy; BENCHGATE_MARGIN_PCT overrides it (e.g. 150 on a
+// CI fleet whose hardware differs from the machines that recorded the
+// baselines).
+func regressionMargin() float64 {
+	if s := os.Getenv("BENCHGATE_MARGIN_PCT"); s != "" {
+		var pct float64
+		if _, err := fmt.Sscanf(s, "%f", &pct); err == nil && pct > 0 {
+			return 1 + pct/100
+		}
+	}
+	return 1.20
+}
+
+func readRecord(path string) (selfbenchRecord, error) {
+	var rec selfbenchRecord
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	return rec, json.Unmarshal(b, &rec)
+}
+
+// checkRegression fails if the dd host ns/op in the given selfbench
+// record regressed more than regressionMargin versus the fastest
+// committed BENCH_*.json baseline.
+func checkRegression(path string) error {
+	cur, err := readRecord(path)
+	if err != nil {
+		return err
+	}
+	curNs, ok := cur.WallNsOp[ddBenchKey]
+	if !ok {
+		return fmt.Errorf("%s: no %q measurement", path, ddBenchKey)
+	}
+	baselines, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return err
+	}
+	bestNs, bestName := 0.0, ""
+	for _, b := range baselines {
+		rec, err := readRecord(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b, err)
+		}
+		if ns, ok := rec.WallNsOp[ddBenchKey]; ok && (bestName == "" || ns < bestNs) {
+			bestNs, bestName = ns, b
+		}
+	}
+	if bestName == "" {
+		fmt.Printf("check: no BENCH_*.json baselines with %q; nothing to compare\n", ddBenchKey)
+		return nil
+	}
+	margin := regressionMargin()
+	if curNs > bestNs*margin {
+		return fmt.Errorf("%s regressed: %.0f ns/op vs best baseline %.0f ns/op (%s, margin %.0f%%)",
+			ddBenchKey, curNs, bestNs, bestName, (margin-1)*100)
+	}
+	fmt.Printf("check: %s %.0f ns/op within %.0f%% of best baseline %.0f ns/op (%s)\n",
+		ddBenchKey, curNs, (margin-1)*100, bestNs, bestName)
+	return nil
 }
 
 // selfbenchRecord is the JSON shape of one recorded harness benchmark.

@@ -61,6 +61,13 @@ type CPU struct {
 
 	natives map[uint64]*Native
 
+	// nativeLo/nativeHi bound the VAs that can hold native entry points,
+	// letting the block hot path replace the natives map probe with a
+	// range compare for module RIPs. The zero-CPU default is the full
+	// address space (always probe); the kernel narrows it to its text
+	// region at boot, and RegisterNative widens it as needed.
+	nativeLo, nativeHi uint64
+
 	Cycles uint64 // cycles consumed
 	Insts  uint64 // instructions retired
 
@@ -73,11 +80,29 @@ type CPU struct {
 	// moves never copy module text. Entries are validated against the
 	// frame's content version, so writes to a code page through any
 	// mapping (including a W^X-violating writable alias) invalidate the
-	// stale decode before it can execute.
+	// stale decode before it can execute. It backs the single-step path
+	// (Step, and block execution's straddler fallback); the hot path is
+	// the superblock cache below.
 	decoded map[mm.FrameID]*pageDecode
 
-	// decodeHits/decodeMisses count cache consultations (metrics only).
+	// blocks is the per-vCPU superblock cache: decoded basic blocks per
+	// physical frame, keyed by entry offset and validated by the same
+	// frame content versions as decoded. See superblock.go.
+	blocks map[mm.FrameID]*pageBlocks
+
+	// lastBlockFrame/lastPB short-circuit the blocks map for the common
+	// case of consecutive blocks on the same page.
+	lastBlockFrame mm.FrameID
+	lastPB         *pageBlocks
+
+	// Blocks counts basic blocks retired via block execution. The engine
+	// samples it per round slot the same way it samples Cycles.
+	Blocks uint64
+
+	// decodeHits/decodeMisses count per-instruction cache consultations;
+	// blockHits/blockMisses count superblock consultations (metrics only).
 	decodeHits, decodeMisses uint64
+	blockHits, blockMisses   uint64
 }
 
 // decodeChunkBytes is the granularity at which decode storage is
@@ -133,8 +158,11 @@ const maxDecodedPages = 128
 func New(id int, as *mm.AddressSpace) *CPU {
 	return &CPU{
 		ID: id, AS: as, TLB: mm.NewTLB(as),
-		natives: make(map[uint64]*Native),
-		decoded: make(map[mm.FrameID]*pageDecode),
+		natives:        make(map[uint64]*Native),
+		nativeHi:       ^uint64(0),
+		decoded:        make(map[mm.FrameID]*pageDecode),
+		blocks:         make(map[mm.FrameID]*pageBlocks),
+		lastBlockFrame: mm.NoFrame,
 	}
 }
 
@@ -143,19 +171,52 @@ func (c *CPU) DecodeCacheStats() (hits, misses uint64) {
 	return c.decodeHits, c.decodeMisses
 }
 
+// BlockCacheStats returns the superblock cache hit/miss counts.
+func (c *CPU) BlockCacheStats() (hits, misses uint64) {
+	return c.blockHits, c.blockMisses
+}
+
 // RegisterNative installs a native kernel function at va. The page
 // containing va must be mapped executable by the caller (the kernel image
 // region) so that translation succeeds before dispatch.
 func (c *CPU) RegisterNative(va uint64, n *Native) {
 	c.natives[va] = n
+	if va < c.nativeLo {
+		c.nativeLo = va
+	}
+	if va >= c.nativeHi {
+		c.nativeHi = va + 1
+	}
+	// A cached superblock may span the new entry point; native
+	// boundaries are baked in at build time, so drop the cache.
+	c.invalidateBlocks()
 }
 
 // ShareNatives makes this CPU dispatch to the same native table as other —
 // all vCPUs of a machine see one kernel.
-func (c *CPU) ShareNatives(other *CPU) { c.natives = other.natives }
+func (c *CPU) ShareNatives(other *CPU) {
+	c.natives = other.natives
+	c.nativeLo, c.nativeHi = other.nativeLo, other.nativeHi
+	c.invalidateBlocks()
+}
 
 // SetNatives installs a shared native dispatch table (the kernel's).
-func (c *CPU) SetNatives(m map[uint64]*Native) { c.natives = m }
+// Natives the owner defines in the shared table later must fall inside
+// the range declared via SetNativeRange (the kernel's text region
+// guarantees this).
+func (c *CPU) SetNatives(m map[uint64]*Native) {
+	c.natives = m
+	c.invalidateBlocks()
+}
+
+// SetNativeRange narrows the VA window that can hold native entry
+// points. Every address passed to RegisterNative (or registered in a
+// shared table) must fall inside [lo, hi) — the kernel passes its text
+// region, which also bounds natives it defines later.
+func (c *CPU) SetNativeRange(lo, hi uint64) {
+	c.nativeLo, c.nativeHi = lo, hi
+	c.invalidateBlocks()
+}
 
 // NativeTable returns the CPU's native dispatch table.
 func (c *CPU) NativeTable() map[uint64]*Native { return c.natives }
@@ -309,17 +370,10 @@ func (c *CPU) Step() (bool, error) {
 		return true, nil
 	}
 	// Native dispatch: control has landed on a kernel entry point.
-	if n, ok := c.natives[c.RIP]; ok {
-		c.Cycles += n.Cost
-		if err := n.Fn(c); err != nil {
-			return false, c.fault("native "+n.Name, err)
+	if c.RIP >= c.nativeLo && c.RIP < c.nativeHi {
+		if n, ok := c.natives[c.RIP]; ok {
+			return c.runNative(n)
 		}
-		ret, err := c.Pop()
-		if err != nil {
-			return false, c.fault("native return", err)
-		}
-		c.RIP = ret
-		return c.RIP == HostReturn, nil
 	}
 
 	in, err := c.fetch()
@@ -328,6 +382,28 @@ func (c *CPU) Step() (bool, error) {
 	}
 	c.Insts++
 	c.Cycles += CostInst
+	return c.exec(&in)
+}
+
+// runNative invokes a native kernel function at c.RIP and performs its
+// return semantics.
+func (c *CPU) runNative(n *Native) (bool, error) {
+	c.Cycles += n.Cost
+	if err := n.Fn(c); err != nil {
+		return false, c.fault("native "+n.Name, err)
+	}
+	ret, err := c.Pop()
+	if err != nil {
+		return false, c.fault("native return", err)
+	}
+	c.RIP = ret
+	return c.RIP == HostReturn, nil
+}
+
+// exec executes one decoded instruction at c.RIP, updating RIP. It is
+// the dispatch core shared by Step and block execution; the caller has
+// already done fetch and instruction accounting.
+func (c *CPU) exec(in *isa.Inst) (bool, error) {
 	next := c.RIP + uint64(in.Len)
 
 	switch in.Op {
@@ -511,11 +587,14 @@ func (c *CPU) cond(op isa.Op) bool {
 const DefaultMaxInsts = 50_000_000
 
 // Run executes instructions until halt, fault, or the instruction budget
-// is exhausted.
+// is exhausted. The hot path retires whole basic blocks per iteration
+// (see superblock.go); the budget is checked at block granularity, which
+// only affects how far past the limit a runaway module gets before the
+// fault fires.
 func (c *CPU) Run(maxInsts uint64) error {
 	start := c.Insts
 	for {
-		halted, err := c.Step()
+		halted, err := c.stepBlock()
 		if err != nil {
 			return err
 		}

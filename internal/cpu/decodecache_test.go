@@ -24,9 +24,9 @@ func retImm(imm int64) []byte {
 	)
 }
 
-// TestDecodeCacheHitsOnStraightLineCode verifies the cache is actually
-// exercised: re-executing the same code must be served from decoded
-// instructions, not fresh decodes.
+// TestDecodeCacheHitsOnStraightLineCode verifies the hot-path cache is
+// actually exercised: re-executing the same code must be served from
+// cached superblocks, not fresh decodes.
 func TestDecodeCacheHitsOnStraightLineCode(t *testing.T) {
 	c := machine(t, []isa.Inst{
 		{Op: isa.OpMOVI, R1: isa.RAX, Imm: 7},
@@ -35,13 +35,17 @@ func TestDecodeCacheHitsOnStraightLineCode(t *testing.T) {
 	if got := run(t, c); got != 7 {
 		t.Fatalf("first run = %d", got)
 	}
-	hits0, _ := c.DecodeCacheStats()
+	hits0, _ := c.BlockCacheStats()
+	_, misses0 := c.BlockCacheStats()
 	if got := run(t, c); got != 7 {
 		t.Fatalf("second run = %d", got)
 	}
-	hits1, misses := c.DecodeCacheStats()
+	hits1, misses1 := c.BlockCacheStats()
 	if hits1 <= hits0 {
-		t.Fatalf("second run decoded from scratch: hits %d → %d (misses %d)", hits0, hits1, misses)
+		t.Fatalf("second run decoded from scratch: block hits %d → %d", hits0, hits1)
+	}
+	if misses1 != misses0 {
+		t.Fatalf("second run rebuilt blocks: misses %d → %d", misses0, misses1)
 	}
 }
 

@@ -1,0 +1,212 @@
+package cpu
+
+// Basic-block superblock execution: the interpreter's hot path.
+//
+// fetchBlock decodes forward from the entry PC to the next control-flow
+// instruction (or the page boundary, a native kernel entry point, or an
+// undecodable byte) and caches the whole run keyed by (frame, entry
+// offset), validated by the frame's content version — the same
+// invalidation that protects the per-instruction decode cache, so a
+// write to a code page through any mapping (including a W^X-violating
+// writable alias) drops stale blocks before they can execute, and a
+// zero-copy re-randomization remap (same frames, new addresses) keeps
+// blocks warm.
+//
+// stepBlock then executes the cached block in a tight loop: one TLB
+// lookup and one exec-permission check per block instead of per
+// instruction, no per-instruction fetch, no native-table probe between
+// straight-line instructions (control can only land on a kernel entry
+// point via a branch, which terminates a block). Cycle and instruction
+// accounting is accumulated per block and lands in the same CPU counters
+// the engine's closed-queueing model replays. For working sets within
+// TLB capacity the charged cycles are bit-identical to per-instruction
+// execution (intra-block instruction fetches were hits by construction);
+// under capacity pressure the code page's FIFO insertion point can
+// differ from the step path's, so cross-mode equality is not guaranteed
+// there — run-to-run determinism always is.
+//
+// Memory-model note: like hardware that requires an instruction-sync
+// barrier after self-modifying stores, a store issued from inside a
+// block to the block's own not-yet-executed bytes takes effect at the
+// next block fetch, not within the current block. Cross-block (and
+// cross-op) modification is always observed, because every block entry
+// re-validates the frame content version.
+
+import (
+	"adelie/internal/isa"
+	"adelie/internal/mm"
+)
+
+// superblock is one decoded basic block. Only the final instruction can
+// redirect control (branch/HLT) — or the block was cut at a page
+// boundary, a native entry point, or an undecodable byte, in which case
+// execution falls through to the next block fetch.
+type superblock struct {
+	insts []isa.Inst
+}
+
+// blockChunkBytes is the granularity at which superblock pointer storage
+// is allocated within a page, mirroring decodeChunkBytes: entry points
+// cluster in the code actually executed, and a chunked array keeps the
+// hit path a bounds-free double index instead of a map probe.
+const blockChunkBytes = 512
+
+// blockChunk holds the superblocks entered within one chunk's offsets.
+type blockChunk struct {
+	blocks [blockChunkBytes]*superblock
+}
+
+// pageBlocks caches the superblocks of one physical frame, indexed by
+// the byte offset of their entry point within the page; chunks
+// materialize on first use.
+type pageBlocks struct {
+	ver    uint64 // frame content version the blocks belong to
+	chunks [mm.PageSize / blockChunkBytes]*blockChunk
+}
+
+func (p *pageBlocks) get(off int) *superblock {
+	ch := p.chunks[off/blockChunkBytes]
+	if ch == nil {
+		return nil
+	}
+	return ch.blocks[off%blockChunkBytes]
+}
+
+func (p *pageBlocks) set(off int, sb *superblock) {
+	ci := off / blockChunkBytes
+	ch := p.chunks[ci]
+	if ch == nil {
+		ch = &blockChunk{}
+		p.chunks[ci] = ch
+	}
+	ch.blocks[off%blockChunkBytes] = sb
+}
+
+// maxBlockPages bounds the superblock cache footprint per vCPU, same
+// policy as the per-instruction decode cache: when the bound is hit the
+// whole cache is dropped (simple and deterministic).
+const maxBlockPages = maxDecodedPages
+
+// noBlock negatively caches entry PCs that cannot start a block (the
+// entry instruction straddles the page or does not decode), so repeated
+// execution there skips straight to the single-step fallback instead of
+// re-attempting the build. Whether an entry can start a block depends
+// only on this frame's bytes, so the usual version check validates it.
+var noBlock = &superblock{}
+
+// invalidateBlocks drops every cached superblock (native-table changes
+// move block boundaries without touching frame contents).
+func (c *CPU) invalidateBlocks() {
+	clear(c.blocks)
+	c.lastBlockFrame, c.lastPB = mm.NoFrame, nil
+}
+
+// stepBlock executes one whole basic block, falling back to a single
+// Step when block execution cannot be used (entry instruction straddles
+// the page boundary or fails to decode). Same contract as Step:
+// (halted, error).
+func (c *CPU) stepBlock() (bool, error) {
+	rip := c.RIP
+	if rip == HostReturn {
+		return true, nil
+	}
+	if rip >= c.nativeLo && rip < c.nativeHi {
+		if n, ok := c.natives[rip]; ok {
+			return c.runNative(n)
+		}
+	}
+	sb, err := c.fetchBlock()
+	if err != nil {
+		return false, c.fault("fetch", err)
+	}
+	if sb == nil {
+		return c.Step()
+	}
+	var (
+		n      uint64
+		halted bool
+	)
+	insts := sb.insts
+	for i := range insts {
+		n++
+		if halted, err = c.exec(&insts[i]); halted || err != nil {
+			break
+		}
+	}
+	c.Insts += n
+	c.Cycles += n * CostInst
+	c.Blocks++
+	return halted, err
+}
+
+// fetchBlock returns the superblock entered at c.RIP, building and
+// caching it on a miss. A nil block (with nil error) means the entry
+// cannot start a block — the caller single-steps it instead.
+func (c *CPU) fetchBlock() (*superblock, error) {
+	rip := c.RIP
+	e, hit, err := c.TLB.Entry(rip, mm.AccessExec)
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		c.Cycles += CostTLBMiss
+	}
+	off := int(rip & mm.PageMask)
+	ver := e.Version()
+	var pb *pageBlocks
+	if e.Frame == c.lastBlockFrame {
+		pb = c.lastPB
+	} else if pb = c.blocks[e.Frame]; pb != nil {
+		c.lastBlockFrame, c.lastPB = e.Frame, pb
+	}
+	if pb != nil && pb.ver == ver {
+		if sb := pb.get(off); sb != nil {
+			c.blockHits++
+			if sb == noBlock {
+				return nil, nil
+			}
+			return sb, nil
+		}
+	} else {
+		if len(c.blocks) >= maxBlockPages {
+			clear(c.blocks)
+		}
+		pb = &pageBlocks{ver: ver}
+		c.blocks[e.Frame] = pb
+		c.lastBlockFrame, c.lastPB = e.Frame, pb
+	}
+	c.blockMisses++
+
+	window := e.CodeWindow(off)
+	sb := &superblock{}
+	o := 0
+	for {
+		in, derr := isa.Decode(window[o:])
+		if derr != nil {
+			// Truncated at the page edge means a (potential) straddler;
+			// any other decode error past the entry also just ends the
+			// block — the single-step fallback reproduces the exact
+			// fault if execution ever reaches that byte.
+			break
+		}
+		sb.insts = append(sb.insts, in)
+		o += in.Len
+		if in.Op.IsBranch() || in.Op == isa.OpHLT {
+			break
+		}
+		if o >= len(window) {
+			break // next instruction starts on the next page
+		}
+		if va := rip + uint64(o); va >= c.nativeLo && va < c.nativeHi {
+			if _, native := c.natives[va]; native {
+				break // fall-through onto a kernel entry point must dispatch
+			}
+		}
+	}
+	if len(sb.insts) == 0 {
+		pb.set(off, noBlock) // entry straddles the page or is undecodable
+		return nil, nil
+	}
+	pb.set(off, sb)
+	return sb, nil
+}

@@ -104,8 +104,19 @@ func (n *NIC) transmit(slot uint64) {
 		return
 	}
 	desc := n.txRing + (slot%n.ringLen)*16
-	buf, _ := n.as.Read64Force(desc)
-	length, _ := n.as.Read64Force(desc + 8)
+	buf, err := n.as.Read64Force(desc)
+	if err != nil {
+		// A mis-programmed ring base must not fall through to VA 0.
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	length, err := n.as.Read64Force(desc + 8)
+	if err != nil {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
 	if length == 0 || length > 1<<16 {
 		n.Dropped++
 		n.mu.Unlock()
@@ -141,8 +152,18 @@ func (n *NIC) Deliver(frame []byte) {
 		return
 	}
 	desc := n.rxRing + (n.rxTail%n.ringLen)*16
-	buf, _ := n.as.Read64Force(desc)
-	if buf == 0 {
+	buf, err := n.as.Read64Force(desc)
+	if err != nil || buf == 0 {
+		n.Dropped++
+		return
+	}
+	// Ring overrun check: a zero length word marks a free RX descriptor
+	// (the documented convention; poll_rx writes 0 when it consumes a
+	// frame). Non-zero means the driver has not caught up — overwriting
+	// the unconsumed frame would corrupt the ring, so the wire drops the
+	// frame instead, and rxTail stays on the slot so delivery resumes
+	// there once the driver drains it.
+	if length, err := n.as.Read64Force(desc + 8); err != nil || length != 0 {
 		n.Dropped++
 		return
 	}
@@ -150,7 +171,10 @@ func (n *NIC) Deliver(frame []byte) {
 		n.Dropped++
 		return
 	}
-	_ = n.as.Write64Force(desc+8, uint64(len(frame)))
+	if err := n.as.Write64Force(desc+8, uint64(len(frame))); err != nil {
+		n.Dropped++
+		return
+	}
 	n.rxTail++
 	n.RxFrames++
 	n.RxBytes += uint64(len(frame))

@@ -71,7 +71,8 @@ type RunResult struct {
 	WaitCycles   uint64 // device wait
 	RerandCycles uint64 // randomizer thread work
 	RerandSteps  int
-	Lanes        int // vCPUs that physically executed operations
+	Lanes        int    // vCPUs that physically executed operations
+	Blocks       uint64 // basic blocks retired by lanes (superblock execution)
 }
 
 // Engine drives measurements against one booted kernel.
@@ -89,9 +90,10 @@ func New(k *kernel.Kernel, r *rerand.Randomizer, epoch ...EpochDevice) *Engine {
 
 // lap records one lane's physical cost for the op it ran this round.
 type lap struct {
-	busy uint64
-	wait uint64
-	err  error
+	busy   uint64
+	wait   uint64
+	blocks uint64
+	err    error
 }
 
 // Run executes cfg.Ops operations across the vCPUs, interleaving
@@ -206,6 +208,7 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 			busy := laps[l].busy + cfg.SyscallCycles
 			res.BusyCycles += busy
 			res.WaitCycles += laps[l].wait
+			res.Blocks += laps[l].blocks
 
 			busyUs := float64(busy) / CPUHz * 1e6
 			latencyUs := float64(busy+laps[l].wait) / CPUHz * 1e6
@@ -243,10 +246,13 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 }
 
 // runOne executes a single operation on lane l's vCPU and measures its
-// interpreted cost.
+// interpreted cost. Block exits are sampled the same way cycles are: a
+// lane retires whole basic blocks inside its round slot, and the counts
+// are folded into the round's accounting at the barrier.
 func (e *Engine) runOne(l int, op OpFunc) lap {
 	c := e.K.CPU(l)
 	before := c.Cycles
+	beforeBlocks := c.Blocks
 	wait, err := op(c)
-	return lap{busy: c.Cycles - before, wait: wait, err: err}
+	return lap{busy: c.Cycles - before, wait: wait, blocks: c.Blocks - beforeBlocks, err: err}
 }

@@ -175,6 +175,9 @@ func New(cfg Config) (*Kernel, error) {
 	for i := 0; i < cfg.NumCPUs; i++ {
 		c := cpu.New(i, k.AS)
 		c.SetNatives(k.natives)
+		// All natives — including ones defined after boot — live inside
+		// the kernel text region, so module RIPs skip the dispatch probe.
+		c.SetNativeRange(k.textBase, k.textBase+kernelTextPages*mm.PageSize)
 		stack, err := k.AllocStack()
 		if err != nil {
 			return nil, err

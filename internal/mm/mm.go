@@ -464,6 +464,18 @@ func (e Entry) Bytes() []byte {
 	return e.fd.data[:]
 }
 
+// CodeWindow returns the frame's bytes from off to the end of the page —
+// the window within which a basic block can be decoded without a second
+// translation (a block never outlives its page: crossing the boundary
+// would need the next frame's translation and content version). Nil for
+// MMIO pages.
+func (e Entry) CodeWindow(off int) []byte {
+	if e.fd == nil {
+		return nil
+	}
+	return e.fd.data[off:]
+}
+
 // Version returns the frame's content version (0 for MMIO pages).
 func (e Entry) Version() uint64 {
 	if e.fd == nil {

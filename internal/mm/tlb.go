@@ -9,15 +9,40 @@ package mm
 // data pointer), so a TLB hit resolves a load, store or fetch without
 // touching the address-space lock or the frame allocator at all — the
 // lock-light translation path concurrent vCPUs run on.
+//
+// Determinism: eviction under capacity pressure is FIFO over insertion
+// order. The hit/miss sequence — and therefore every charged refill
+// cycle — is a pure function of the access sequence, which is what lets
+// two runs with the same seed produce bit-identical RunResults even when
+// a workload's footprint exceeds DefaultTLBSize.
 type TLB struct {
 	as      *AddressSpace
 	entries map[uint64]Entry
+	fifo    []uint64 // resident page keys in insertion order (ring once full)
+	head    int      // index of the oldest key in fifo
 	cap     int
 	gen     uint64 // address-space generation the cached entries belong to
+
+	// l1 is a direct-mapped front cache over entries. It is purely a
+	// lookup accelerator: every slot mirrors a live entries[] value and
+	// is cleared when that entry is evicted or flushed, so hit/miss
+	// accounting (and the cycles it charges) is identical with or
+	// without it.
+	l1 [l1Sets]l1Slot
 
 	hits    uint64
 	misses  uint64
 	flushes uint64
+}
+
+// l1Sets is the number of direct-mapped front-cache slots (power of two).
+const l1Sets = 256
+
+// l1Slot tags a cached translation with page|1 (never zero, and never
+// equal to a page-aligned address), so the zero value means empty.
+type l1Slot struct {
+	tag uint64
+	e   Entry
 }
 
 // DefaultTLBSize approximates a modern L2 STLB (entries, not bytes).
@@ -38,11 +63,20 @@ func (t *TLB) Entry(va uint64, access Access) (Entry, bool, error) {
 		t.gen = g
 	}
 	page := va &^ PageMask
+	s := &t.l1[(page>>PageShift)&(l1Sets-1)]
+	if s.tag == page|1 {
+		if err := checkPerm(va, s.e.Flags, access); err != nil {
+			return Entry{Frame: NoFrame}, true, err
+		}
+		t.hits++
+		return s.e, true, nil
+	}
 	if e, ok := t.entries[page]; ok {
 		if err := checkPerm(va, e.Flags, access); err != nil {
 			return Entry{Frame: NoFrame}, true, err
 		}
 		t.hits++
+		s.tag, s.e = page|1, e
 		return e, true, nil
 	}
 	t.misses++
@@ -51,14 +85,24 @@ func (t *TLB) Entry(va uint64, access Access) (Entry, bool, error) {
 		return Entry{Frame: NoFrame}, false, err
 	}
 	if len(t.entries) >= t.cap {
-		// Evict an arbitrary entry; capacity pressure, not recency, is the
-		// effect we need to model.
-		for k := range t.entries {
-			delete(t.entries, k)
-			break
+		// FIFO eviction: drop the oldest resident translation and reuse
+		// its ring slot. Capacity pressure, not recency, is the effect
+		// the model needs — but the victim choice must be deterministic.
+		old := t.fifo[t.head]
+		delete(t.entries, old)
+		if os := &t.l1[(old>>PageShift)&(l1Sets-1)]; os.tag == old|1 {
+			os.tag = 0
 		}
+		t.fifo[t.head] = page
+		t.head++
+		if t.head == len(t.fifo) {
+			t.head = 0
+		}
+	} else {
+		t.fifo = append(t.fifo, page)
 	}
 	t.entries[page] = e
+	s.tag, s.e = page|1, e
 	return e, false, nil
 }
 
@@ -72,6 +116,9 @@ func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, err
 // Flush drops all cached translations.
 func (t *TLB) Flush() {
 	clear(t.entries)
+	t.fifo = t.fifo[:0]
+	t.head = 0
+	t.l1 = [l1Sets]l1Slot{}
 	t.flushes++
 }
 

@@ -192,8 +192,11 @@ func (m *Machine) Engine() *engine.Engine {
 
 // Run executes cfg.Ops operations across the machine's vCPUs under the
 // deterministic barrier-synchronized virtual clock, interleaving
-// re-randomizer steps, and derives the figure-level metrics. See
-// engine.Engine.Run for the execution and queueing model.
+// re-randomizer steps, and derives the figure-level metrics. Lanes
+// retire whole decoded basic blocks per round slot (superblock
+// execution, reported in RunResult.Blocks); per-block costs are replayed
+// into the closed-queueing model unchanged. See engine.Engine.Run for
+// the execution and queueing model.
 func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	return m.Engine().Run(cfg, op)
 }

@@ -1,10 +1,48 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+
+	"adelie/internal/cpu"
+	"adelie/internal/sim"
+)
 
 // Determinism tests: every experiment must reproduce bit-identically
 // under its fixed seed, which is what makes EXPERIMENTS.md's recorded
 // numbers verifiable.
+
+// TestSuperblockRetirementDeterministic drives a driver path through the
+// full engine twice and requires identical RunResults — including the
+// count of basic blocks retired by superblock execution, which must be
+// nonzero (the hot path is actually in use) and lane-order independent.
+func TestSuperblockRetirementDeterministic(t *testing.T) {
+	run := func() sim.RunResult {
+		m, err := newMachine(CfgPICRet, 411, "dummy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ioctlVA, err := callVA(m, "dummy_ioctl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(sim.RunConfig{Ops: 300, Workers: 8, SyscallCycles: SyscallEntry},
+			func(c *cpu.CPU) (uint64, error) {
+				_, err := c.Call(ioctlVA, 1)
+				return 0, err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("RunResult not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Blocks == 0 {
+		t.Fatal("no superblocks retired; hot path not in use")
+	}
+}
 
 func TestDDDeterministic(t *testing.T) {
 	a, err := DD(CfgPICRet, 16, 200)
