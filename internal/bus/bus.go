@@ -1,0 +1,368 @@
+// Package bus is the device interconnect of the simulated testbed: it
+// allocates MMIO windows, dispatches device registration, and owns the
+// deterministic interrupt controller.
+//
+// Before the bus, sim.New hand-registered each device at a hardcoded
+// MMIO base and the engine received epoch-deterministic devices as a
+// separate variadic list. The bus unifies both: a device implements
+// Device (name + window size), optionally IRQDevice (an interrupt line),
+// optionally EpochDevice (round-granular state semantics, discovered by
+// interface assertion), and optionally Ticker (a coalescing timer
+// stepped on the virtual clock). Attach order is the only wiring input,
+// so a machine's device map — bases, IRQ lines, epoch set — is a pure
+// function of the attach sequence and stays bit-reproducible.
+//
+// Interrupts and determinism. Devices raise their lines at any point
+// during a round (a doorbell write on one vCPU can make a peer NIC
+// assert), but lines are only *delivered* — ISRs only run — at the
+// engine's barrier-synchronized clock boundaries, with every vCPU
+// quiescent, in ascending line order. Raising is a commutative
+// set-union operation (the set of lines pending at the barrier does not
+// depend on host scheduling within the round), so delivery order, ISR
+// side effects and every RunResult derived from them are deterministic.
+package bus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adelie/internal/mm"
+)
+
+// Device is a bus-attachable device: an MMIO register block with a
+// stable name. Optional capabilities are discovered by interface
+// assertion at Attach time: IRQDevice, EpochDevice, Ticker.
+type Device interface {
+	mm.MMIOHandler
+	// DevName is the stable lookup name ("nvme", "nic0", …); Attach
+	// rejects duplicates.
+	DevName() string
+	// DevPages is the MMIO window size in pages.
+	DevPages() int
+}
+
+// IRQDevice is a Device with an interrupt line. The bus assigns line
+// numbers in attach order and hands the device its line plus a reader
+// for the virtual clock (cycles), which the device uses to timestamp
+// pending work for coalescing decisions.
+type IRQDevice interface {
+	Device
+	ConnectIRQ(line *Line, now func() uint64)
+}
+
+// EpochDevice is a device with round-granular (epoch) state semantics:
+// between BeginEpoch and EndEpoch, reads of modeled device state (e.g.
+// the NVMe controller's DRAM-cache contents) observe the epoch-start
+// snapshot while updates are buffered, and EndEpoch applies the buffer
+// in deterministic order. This keeps latencies independent of the host
+// scheduling order of lanes within a round.
+type EpochDevice interface {
+	BeginEpoch()
+	EndEpoch()
+}
+
+// Ticker is a device with a clocked timer (interrupt coalescing delay).
+// Tick runs at every clock boundary with all vCPUs quiescent; force is
+// set on the final tick of a measurement so pending work flushes.
+type Ticker interface {
+	Tick(nowCycles uint64, force bool)
+}
+
+// windowStride is the minimum MMIO window spacing (64 KB), matching the
+// per-device bases the testbed used before the bus existed.
+const windowStride = 16 * mm.PageSize
+
+type attached struct {
+	dev  Device
+	base uint64
+	line int // IRQ line, -1 if none
+}
+
+// Bus allocates MMIO windows, owns the interrupt controller, and keeps
+// the device registry.
+type Bus struct {
+	as   *mm.AddressSpace
+	next uint64
+
+	mu      sync.Mutex
+	devs    []attached
+	byName  map[string]attached
+	tickers []Ticker // devices with coalescing timers, in attach order
+
+	ic  *IntController
+	now atomic.Uint64 // virtual clock in cycles, set at engine barriers
+}
+
+// New returns an empty bus allocating MMIO windows upward from base.
+func New(as *mm.AddressSpace, base uint64) *Bus {
+	return &Bus{as: as, next: base, byName: map[string]attached{}, ic: NewIntController()}
+}
+
+// Attach registers d's MMIO window at the next free base and wires its
+// optional IRQ line. It returns the allocated window base.
+func (b *Bus) Attach(d Device) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name := d.DevName()
+	if _, dup := b.byName[name]; dup {
+		return 0, fmt.Errorf("bus: duplicate device name %q", name)
+	}
+	pages := d.DevPages()
+	if pages <= 0 {
+		pages = 1
+	}
+	base := b.next
+	if err := b.as.RegisterMMIO(base, pages, d); err != nil {
+		return 0, fmt.Errorf("bus: attaching %q: %w", name, err)
+	}
+	stride := uint64(pages) * mm.PageSize
+	if stride < windowStride {
+		stride = windowStride
+	}
+	b.next += stride
+
+	a := attached{dev: d, base: base, line: -1}
+	if irqd, ok := d.(IRQDevice); ok {
+		a.line = b.ic.addLine()
+		irqd.ConnectIRQ(&Line{n: a.line, ic: b.ic}, b.Now)
+	}
+	b.devs = append(b.devs, a)
+	b.byName[name] = a
+	if t, ok := d.(Ticker); ok {
+		b.tickers = append(b.tickers, t)
+	}
+	return base, nil
+}
+
+// Base returns the MMIO window base of the named device.
+func (b *Bus) Base(name string) (uint64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return a.base, true
+}
+
+// IRQLine returns the interrupt line of the named device (-1 if the
+// device has no line or is not attached).
+func (b *Bus) IRQLine(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a, ok := b.byName[name]; ok {
+		return a.line
+	}
+	return -1
+}
+
+// Devices returns the attached devices in attach order.
+func (b *Bus) Devices() []Device {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Device, len(b.devs))
+	for i, a := range b.devs {
+		out[i] = a.dev
+	}
+	return out
+}
+
+// EpochDevices returns, in attach order, the attached devices that
+// implement EpochDevice — the interface-assertion replacement for the
+// engine's old EpochDevice variadic.
+func (b *Bus) EpochDevices() []EpochDevice {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []EpochDevice
+	for _, a := range b.devs {
+		if e, ok := a.dev.(EpochDevice); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IC returns the interrupt controller.
+func (b *Bus) IC() *IntController { return b.ic }
+
+// SetNow publishes the virtual clock (cycles). The engine calls it at
+// barriers only, so every Deliver/Raise within a round observes the
+// round-start time — a deterministic timestamp.
+func (b *Bus) SetNow(cycles uint64) { b.now.Store(cycles) }
+
+// Now reads the virtual clock as of the last barrier.
+func (b *Bus) Now() uint64 { return b.now.Load() }
+
+// Tick steps every Ticker device at a clock boundary (coalescing-delay
+// checks). force flushes pending work at end of measurement. The ticker
+// set is precomputed at Attach time, so a machine with no coalescing
+// devices pays one lock per barrier and no allocation.
+func (b *Bus) Tick(force bool) {
+	b.mu.Lock()
+	tickers := b.tickers
+	b.mu.Unlock()
+	if len(tickers) == 0 {
+		return
+	}
+	now := b.Now()
+	for _, t := range tickers {
+		t.Tick(now, force)
+	}
+}
+
+// Line is one device's interrupt line.
+type Line struct {
+	n  int
+	ic *IntController
+}
+
+// Num returns the controller line number.
+func (l *Line) Num() int { return l.n }
+
+// Assert raises the line. pendingSince is the virtual time (cycles) the
+// oldest work covered by this interrupt has been waiting — the
+// controller keeps the earliest value per line and reports delivery
+// latency against it.
+func (l *Line) Assert(pendingSince uint64) { l.ic.raise(l.n, pendingSince) }
+
+// PendingIRQ is one raised-but-undelivered line.
+type PendingIRQ struct {
+	Line  int
+	Since uint64 // earliest pendingSince across the raises being coalesced
+}
+
+// DeliveredIRQ is one ISR dispatch, recorded for determinism audits.
+type DeliveredIRQ struct {
+	Line    int
+	AtCycle uint64
+	Handled bool
+}
+
+// IntController collects lines raised during a round and hands them to
+// the engine at the barrier, in ascending line order. It also keeps the
+// delivery trace and per-line latency sums the coalescing figures read.
+type IntController struct {
+	mu      sync.Mutex
+	lines   int
+	pending map[int]uint64 // line → earliest pendingSince
+
+	raised    []uint64 // per line
+	delivered []uint64
+	spurious  []uint64
+	latSum    []uint64 // Σ (deliveredAt - pendingSince), cycles
+	trace     []DeliveredIRQ
+}
+
+// NewIntController returns an empty controller.
+func NewIntController() *IntController {
+	return &IntController{pending: map[int]uint64{}}
+}
+
+func (ic *IntController) addLine() int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := ic.lines
+	ic.lines++
+	ic.raised = append(ic.raised, 0)
+	ic.delivered = append(ic.delivered, 0)
+	ic.spurious = append(ic.spurious, 0)
+	ic.latSum = append(ic.latSum, 0)
+	return n
+}
+
+// raise marks a line pending. Repeated raises before delivery coalesce,
+// keeping the earliest pendingSince: the merged interrupt covers the
+// oldest waiting work. Raising is commutative, which is what makes the
+// barrier-observed pending set independent of intra-round scheduling.
+func (ic *IntController) raise(line int, pendingSince uint64) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	ic.raised[line]++
+	if since, ok := ic.pending[line]; !ok || pendingSince < since {
+		ic.pending[line] = pendingSince
+	}
+}
+
+// TakePending atomically drains the pending set, sorted by line number —
+// the deterministic delivery order.
+func (ic *IntController) TakePending() []PendingIRQ {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if len(ic.pending) == 0 {
+		return nil
+	}
+	out := make([]PendingIRQ, 0, len(ic.pending))
+	for line, since := range ic.pending {
+		out = append(out, PendingIRQ{Line: line, Since: since})
+	}
+	clear(ic.pending)
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// traceCap bounds the delivery trace: counters carry the aggregate
+// stats forever, the trace exists for determinism audits, and keeping
+// its prefix (identically in every run, so comparisons stay valid)
+// stops a long per-frame-interrupt measurement from growing memory per
+// dispatch.
+const traceCap = 1 << 16
+
+// NoteDelivered records one dispatch: the delivery trace, the per-line
+// counters, and the latency from the oldest covered work to delivery.
+func (ic *IntController) NoteDelivered(p PendingIRQ, atCycle uint64, handled bool) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if len(ic.trace) < traceCap {
+		ic.trace = append(ic.trace, DeliveredIRQ{Line: p.Line, AtCycle: atCycle, Handled: handled})
+	}
+	if handled {
+		ic.delivered[p.Line]++
+		if atCycle > p.Since {
+			ic.latSum[p.Line] += atCycle - p.Since
+		}
+	} else {
+		ic.spurious[p.Line]++
+	}
+}
+
+// Raised returns how many times a line was asserted (before coalescing).
+func (ic *IntController) Raised(line int) uint64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.raised[line]
+}
+
+// Delivered returns how many ISR dispatches a line received.
+func (ic *IntController) Delivered(line int) uint64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.delivered[line]
+}
+
+// Spurious returns deliveries that found no registered ISR.
+func (ic *IntController) Spurious(line int) uint64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.spurious[line]
+}
+
+// AvgLatencyCycles returns the mean cycles from oldest-pending-work to
+// ISR dispatch on a line (0 if the line never delivered).
+func (ic *IntController) AvgLatencyCycles(line int) float64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.delivered[line] == 0 {
+		return 0
+	}
+	return float64(ic.latSum[line]) / float64(ic.delivered[line])
+}
+
+// Trace returns the delivery sequence — (line, cycle, handled) per
+// dispatch — which determinism tests compare across runs.
+func (ic *IntController) Trace() []DeliveredIRQ {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return append([]DeliveredIRQ(nil), ic.trace...)
+}

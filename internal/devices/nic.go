@@ -3,6 +3,7 @@ package devices
 import (
 	"sync"
 
+	"adelie/internal/bus"
 	"adelie/internal/mm"
 )
 
@@ -12,9 +13,20 @@ import (
 // Frames transmitted on one NIC appear on its peer's RX ring (or loop
 // back), with a 1 GbE wire bandwidth that the simulator accounts as the
 // throughput ceiling Fig. 7/8 observe (~110 MB/s).
+//
+// The NIC is a bus.IRQDevice: when the bus wires a line, RX delivery
+// into the driver ring asserts it under the configured coalescing
+// policy (SetCoalescing), and the driver's NAPI-style ISR masks the
+// line via NICRegIntCtl, drains the ring, and unmasks. Frames delivered
+// while no line is wired (or to the host-driven load-generator side)
+// never interrupt.
 type NIC struct {
 	mu sync.Mutex
 	as *mm.AddressSpace
+
+	// Name distinguishes multiple adapters on one bus ("nic0"/"nic1",
+	// the server/load-generator pair of Table 1).
+	Name string
 
 	txRing, rxRing uint64 // descriptor ring base VAs
 	ringLen        uint64 // descriptors per ring
@@ -24,10 +36,30 @@ type NIC struct {
 
 	// hostRx captures frames when no RX ring is programmed — the
 	// load-generator side of the wire, consumed by the host harness.
-	hostRx [][]byte
+	// It is bounded by hostRxCap: the modeled load generator keeps up
+	// with the wire, so overflow frames count as consumed (HostConsumed)
+	// instead of accumulating, and long runs cannot wedge on a full
+	// host ring.
+	hostRx    [][]byte
+	hostRxCap int
+
+	// Interrupt state. The bus assigns irq and the clock reader; the
+	// guest masks/unmasks through NICRegIntCtl. pendingIRQ counts frames
+	// delivered since the last assert; firstPending timestamps the
+	// oldest of them (virtual cycles) for the coalescing delay and the
+	// controller's latency accounting.
+	irq            *bus.Line
+	clock          func() uint64
+	intMasked      bool
+	pendingIRQ     uint64
+	firstPending   uint64
+	coalesceFrames uint64 // assert once this many frames are pending
+	coalesceDelay  uint64 // or once the oldest has waited this many cycles
 
 	TxFrames, RxFrames, TxBytes, RxBytes uint64
 	Dropped                              uint64
+	HostConsumed                         uint64 // load-generator frames consumed past the cap
+	IRQsAsserted                         uint64
 }
 
 // WireBytesPerSec is the 1 GbE line rate (≈110 MB/s of goodput, the
@@ -41,13 +73,114 @@ const (
 	NICRegRingLen    = 0x10 // descriptors per ring
 	NICRegTxDoorbell = 0x18 // write: TX slot to send
 	NICRegRxHead     = 0x20 // read: next filled RX slot count
+	NICRegIntCtl     = 0x28 // write 1: mask the RX interrupt (IMC); write 0: unmask (IMS); read: mask state
 )
 
 // Descriptor layout (2 words): buffer VA, byte length. A zero length
 // marks a free RX descriptor.
 
+// DefaultHostRxCap bounds the host-side capture queue of a ringless
+// (load-generator) adapter.
+const DefaultHostRxCap = 1024
+
 // NewNIC creates an adapter DMA-attached to as.
-func NewNIC(as *mm.AddressSpace) *NIC { return &NIC{as: as} }
+func NewNIC(as *mm.AddressSpace) *NIC {
+	return &NIC{as: as, Name: "nic", hostRxCap: DefaultHostRxCap, coalesceFrames: 1}
+}
+
+// DevName implements bus.Device.
+func (n *NIC) DevName() string { return n.Name }
+
+// DevPages implements bus.Device.
+func (n *NIC) DevPages() int { return 1 }
+
+// ConnectIRQ implements bus.IRQDevice: the bus hands the adapter its
+// line and a reader for the barrier-published virtual clock.
+func (n *NIC) ConnectIRQ(l *bus.Line, now func() uint64) {
+	n.mu.Lock()
+	n.irq, n.clock = l, now
+	n.mu.Unlock()
+}
+
+// IRQLine returns the bus line number wired to this adapter (-1 if
+// none).
+func (n *NIC) IRQLine() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.irq == nil {
+		return -1
+	}
+	return n.irq.Num()
+}
+
+// SetCoalescing configures interrupt moderation: the line asserts once
+// maxFrames frames are pending, or — checked at clock boundaries — once
+// the oldest pending frame has waited delayCycles. maxFrames <= 1 means
+// assert per frame; delayCycles == 0 makes every clock boundary flush
+// whatever is pending.
+func (n *NIC) SetCoalescing(maxFrames, delayCycles uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if maxFrames == 0 {
+		maxFrames = 1
+	}
+	n.coalesceFrames, n.coalesceDelay = maxFrames, delayCycles
+}
+
+// SetHostRxCap bounds the host-side capture queue (load-generator
+// receive path); frames past the cap are consumed, not stored.
+func (n *NIC) SetHostRxCap(cap int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cap < 1 {
+		cap = 1
+	}
+	n.hostRxCap = cap
+}
+
+// Tick implements bus.Ticker: at a clock boundary, assert the line if
+// the oldest pending frame has exceeded the coalescing delay (or
+// unconditionally on the final force tick of a measurement).
+func (n *NIC) Tick(nowCycles uint64, force bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pendingIRQ == 0 {
+		return
+	}
+	if force || nowCycles-n.firstPending >= n.coalesceDelay {
+		n.assertIRQLocked()
+	}
+}
+
+// noteRxLocked records one frame landing in the driver ring and applies
+// the frame-count coalescing threshold. Caller holds n.mu.
+func (n *NIC) noteRxLocked() {
+	if n.irq == nil {
+		return
+	}
+	if n.pendingIRQ == 0 {
+		if n.clock != nil {
+			n.firstPending = n.clock()
+		} else {
+			n.firstPending = 0
+		}
+	}
+	n.pendingIRQ++
+	if !n.intMasked && n.pendingIRQ >= n.coalesceFrames {
+		n.assertIRQLocked()
+	}
+}
+
+// assertIRQLocked raises the line, folding all pending frames into one
+// interrupt. Caller holds n.mu and has checked pendingIRQ > 0.
+func (n *NIC) assertIRQLocked() {
+	if n.irq == nil || n.intMasked {
+		return
+	}
+	n.irq.Assert(n.firstPending)
+	n.IRQsAsserted++
+	n.pendingIRQ = 0
+}
 
 // Connect wires two NICs back-to-back (server/load-generator setup of
 // Table 1). A NIC without a peer loops frames back to itself.
@@ -73,6 +206,11 @@ func (n *NIC) MMIORead(off uint64) uint64 {
 		return n.ringLen
 	case NICRegRxHead:
 		return n.rxTail
+	case NICRegIntCtl:
+		if n.intMasked {
+			return 1
+		}
+		return 0
 	}
 	return 0
 }
@@ -91,6 +229,18 @@ func (n *NIC) MMIOWrite(off uint64, val uint64) {
 		n.mu.Unlock()
 		n.transmit(val)
 		return
+	case NICRegIntCtl:
+		if val != 0 {
+			n.intMasked = true
+		} else {
+			// NAPI re-enable: if frames arrived while the line was
+			// masked, re-assert immediately so the driver is told about
+			// work it has not been signalled for.
+			n.intMasked = false
+			if n.pendingIRQ > 0 {
+				n.assertIRQLocked()
+			}
+		}
 	}
 	n.mu.Unlock()
 }
@@ -145,8 +295,17 @@ func (n *NIC) Deliver(frame []byte) {
 	defer n.mu.Unlock()
 	if n.rxRing == 0 || n.ringLen == 0 {
 		// No driver-owned ring: this adapter is host-driven (the load
-		// generator of Table 1); queue the frame for the harness.
+		// generator of Table 1); queue the frame for the harness. The
+		// modeled generator keeps pace with the wire, so past the cap
+		// the oldest frames count as consumed rather than accumulating.
+		// Trimming waits until 2×cap so the compaction cost amortizes to
+		// O(1) per frame instead of an O(cap) memmove per delivery.
 		n.hostRx = append(n.hostRx, frame)
+		if len(n.hostRx) >= 2*n.hostRxCap {
+			over := len(n.hostRx) - n.hostRxCap
+			n.hostRx = append(n.hostRx[:0], n.hostRx[over:]...)
+			n.HostConsumed += uint64(over)
+		}
 		n.RxFrames++
 		n.RxBytes += uint64(len(frame))
 		return
@@ -178,6 +337,7 @@ func (n *NIC) Deliver(frame []byte) {
 	n.rxTail++
 	n.RxFrames++
 	n.RxBytes += uint64(len(frame))
+	n.noteRxLocked()
 }
 
 // TakeHostFrames drains the host-side capture queue (load-generator
@@ -207,6 +367,12 @@ const (
 
 // NewXHCI returns a controller with one connected port.
 func NewXHCI() *XHCI { return &XHCI{connected: true} }
+
+// DevName implements bus.Device.
+func (x *XHCI) DevName() string { return "xhci" }
+
+// DevPages implements bus.Device.
+func (x *XHCI) DevPages() int { return 1 }
 
 // MMIORead implements mm.MMIOHandler.
 func (x *XHCI) MMIORead(off uint64) uint64 {

@@ -47,7 +47,8 @@ const (
 
 // NVMe is the controller.
 //
-// It implements engine.EpochDevice: between BeginEpoch and EndEpoch
+// It implements bus.EpochDevice (discovered by interface assertion when
+// the controller is attached): between BeginEpoch and EndEpoch
 // (the engine's round barriers), cache-hit decisions are made against
 // the epoch-start snapshot of the DRAM cache and insertions are
 // buffered, applied in sorted order at EndEpoch. Latencies observed by
@@ -82,7 +83,13 @@ func NewNVMe(as *mm.AddressSpace) *NVMe {
 	}
 }
 
-// BeginEpoch enters round-granular cache semantics (engine.EpochDevice).
+// DevName implements bus.Device.
+func (d *NVMe) DevName() string { return "nvme" }
+
+// DevPages implements bus.Device.
+func (d *NVMe) DevPages() int { return 1 }
+
+// BeginEpoch enters round-granular cache semantics (bus.EpochDevice).
 func (d *NVMe) BeginEpoch() {
 	d.mu.Lock()
 	d.epoch = true

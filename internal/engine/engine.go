@@ -21,12 +21,23 @@
 // (see internal/drivers), devices with per-slot queues, no unsynchronized
 // shared writes. Workloads additionally keep any host-side closure state
 // per-lane (indexed by cpu.CPU.ID) so results stay deterministic.
+//
+// Interrupts. When the engine drives a machine assembled on a device
+// bus, lines raised by devices during a round (NIC RX coalescing, see
+// internal/bus) are delivered only here, at the round barrier: after the
+// accounting pass, the engine publishes the virtual clock to the bus,
+// ticks coalescing timers, and dispatches pending lines in ascending
+// line order on vCPU 0 through the kernel's registered ISRs. Because
+// raising is commutative and delivery is barrier-serialized, interrupt
+// side effects — ISR cycles, ring drains, driver counters — are
+// bit-reproducible no matter how the host scheduled the round's lanes.
 package engine
 
 import (
 	"fmt"
 	"sync"
 
+	"adelie/internal/bus"
 	"adelie/internal/cpu"
 	"adelie/internal/kernel"
 	"adelie/internal/rerand"
@@ -39,16 +50,11 @@ const CPUHz = 2.2e9
 // device wait in cycles (time the CPU is idle on I/O) and any fault.
 type OpFunc func(c *cpu.CPU) (waitCycles uint64, err error)
 
-// EpochDevice is a device with round-granular (epoch) state semantics:
-// between BeginEpoch and EndEpoch, reads of modeled device state (e.g.
-// the NVMe controller's DRAM-cache contents) observe the epoch-start
-// snapshot while updates are buffered, and EndEpoch applies the buffer
-// in deterministic order. This keeps latencies independent of the host
-// scheduling order of lanes within a round.
-type EpochDevice interface {
-	BeginEpoch()
-	EndEpoch()
-}
+// EpochDevice is a device with round-granular (epoch) state semantics;
+// see bus.EpochDevice. The engine discovers epoch devices by interface
+// assertion over the machine's bus (this alias keeps older call sites
+// compiling).
+type EpochDevice = bus.EpochDevice
 
 // RunConfig parameterizes a measurement.
 type RunConfig struct {
@@ -58,6 +64,12 @@ type RunConfig struct {
 	SyscallCycles  uint64  // fixed kernel entry/exit + core-kernel path cost per op
 	BytesPerOp     float64 // payload size (for MB/s and the wire cap)
 	WireBps        float64 // wire bandwidth cap; 0 = none
+
+	// Actors are extra clocked actors scheduled on the measurement's
+	// virtual clock alongside the re-randomizer — e.g. a load generator
+	// injecting frames into a NIC. They fire during the accounting pass
+	// at round barriers, so their mutations are deterministic.
+	Actors []Actor
 }
 
 // RunResult is one measured configuration — a point on a §5 figure.
@@ -73,19 +85,27 @@ type RunResult struct {
 	RerandSteps  int
 	Lanes        int    // vCPUs that physically executed operations
 	Blocks       uint64 // basic blocks retired by lanes (superblock execution)
+	IRQs         uint64 // ISR dispatches delivered at clock boundaries
+	IRQCycles    uint64 // cycles spent in ISRs (counted into CPU usage)
 }
 
 // Engine drives measurements against one booted kernel.
 type Engine struct {
 	K     *kernel.Kernel
 	R     *rerand.Randomizer // optional; stepped as a clocked actor
+	Bus   *bus.Bus           // optional; devices, epoch set, interrupts
 	Epoch []EpochDevice      // devices needing round-granular determinism
 }
 
-// New returns an engine over k. r may be nil (no re-randomization);
-// epoch devices may be empty.
-func New(k *kernel.Kernel, r *rerand.Randomizer, epoch ...EpochDevice) *Engine {
-	return &Engine{K: k, R: r, Epoch: epoch}
+// New returns an engine over k. r may be nil (no re-randomization) and
+// b may be nil (no devices). Epoch devices are discovered from the bus
+// by interface assertion — this replaces the old EpochDevice variadic.
+func New(k *kernel.Kernel, r *rerand.Randomizer, b *bus.Bus) *Engine {
+	e := &Engine{K: k, R: r, Bus: b}
+	if b != nil {
+		e.Epoch = b.EpochDevices()
+	}
+	return e
 }
 
 // lap records one lane's physical cost for the op it ran this round.
@@ -148,6 +168,12 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 				return nil
 			},
 		})
+	}
+	for _, a := range cfg.Actors {
+		clk.Schedule(a)
+	}
+	if e.Bus != nil {
+		e.Bus.SetNow(0)
 	}
 
 	// Persistent lane workers: one goroutine per lane for the whole
@@ -227,6 +253,19 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 				return res, err
 			}
 		}
+
+		// Interrupt window: with the round fully accounted and every vCPU
+		// still quiescent, publish the clock, step coalescing timers, and
+		// deliver pending lines to their ISRs.
+		if err := e.serviceIRQs(clk, &res, false); err != nil {
+			return res, err
+		}
+	}
+
+	// Final flush: force coalescing timers so frames still pending below
+	// their thresholds are signalled and drained before metrics derive.
+	if err := e.serviceIRQs(clk, &res, true); err != nil {
+		return res, err
 	}
 
 	elapsedUs := clk.NowUs()
@@ -239,10 +278,51 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	totalCycles := float64(ncpu) * res.ElapsedSec * CPUHz
 	if totalCycles > 0 {
 		// Worker busy time is per-op busy × ops (all workers included:
-		// each op's busy cycles were executed once on some core).
-		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles)) / totalCycles * 100
+		// each op's busy cycles were executed once on some core). ISR
+		// time is CPU time too, like the randomizer thread's.
+		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles) + float64(res.IRQCycles)) / totalCycles * 100
 	}
 	return res, nil
+}
+
+// serviceIRQs runs the barrier interrupt window: publish the virtual
+// clock to the bus, tick coalescing timers, and dispatch pending lines
+// in ascending line order on vCPU 0. With force set (end of
+// measurement) it loops until the pending set is empty, so an ISR whose
+// unmask re-asserts the line still drains before metrics derive.
+func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
+	if e.Bus == nil {
+		return nil
+	}
+	now := uint64(clk.NowUs() * (CPUHz / 1e6))
+	e.Bus.SetNow(now)
+	ic := e.Bus.IC()
+	for iter := 0; ; iter++ {
+		if iter >= 1024 {
+			return fmt.Errorf("engine: interrupt storm: lines still pending after %d flush passes", iter)
+		}
+		e.Bus.Tick(force)
+		pending := ic.TakePending()
+		if len(pending) == 0 {
+			return nil
+		}
+		c := e.K.CPU(0)
+		for _, p := range pending {
+			before := c.Cycles
+			handled, err := e.K.DispatchIRQ(c, p.Line)
+			if err != nil {
+				return fmt.Errorf("engine: irq line %d: %w", p.Line, err)
+			}
+			if handled {
+				res.IRQs++
+				res.IRQCycles += c.Cycles - before
+			}
+			ic.NoteDelivered(p, now, handled)
+		}
+		if !force {
+			return nil
+		}
+	}
 }
 
 // runOne executes a single operation on lane l's vCPU and measures its

@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"sort"
+
+	"adelie/internal/cpu"
+)
+
+// Interrupt support mirrors the workqueue's §3.4 treatment of deferred
+// execution: a driver registers an ISR whose address may live inside its
+// movable part (request_irq with &handler, like queue_work), the
+// re-randomizer slides registered vectors when the module moves, and
+// every dispatch runs inside its own mr_start/mr_finish bracket so a
+// concurrent re-randomization cannot unmap the handler mid-ISR.
+//
+// Delivery timing is the engine's job: the bus's interrupt controller
+// collects lines raised during a round, and the engine calls DispatchIRQ
+// only at barrier-synchronized clock boundaries with all vCPUs
+// quiescent — the determinism contract documented in README.md.
+
+// RegisterISR installs handler as the interrupt service routine for a
+// line. Re-registering a line replaces its handler (drivers re-init).
+func (k *Kernel) RegisterISR(line int, handler uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.isrs == nil {
+		k.isrs = map[int]uint64{}
+	}
+	k.isrs[line] = handler
+}
+
+// ISR returns the handler registered for a line.
+func (k *Kernel) ISR(line int) (uint64, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	va, ok := k.isrs[line]
+	return va, ok
+}
+
+// ISRLines returns the lines with registered handlers, sorted.
+func (k *Kernel) ISRLines() []int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]int, 0, len(k.isrs))
+	for line := range k.isrs {
+		out = append(out, line)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DispatchIRQ runs the ISR registered for line on c, bracketed with
+// mr_start/mr_finish like a workqueue handler. It returns false (and no
+// error) for a spurious interrupt — a line with no registered handler.
+func (k *Kernel) DispatchIRQ(c *cpu.CPU, line int) (bool, error) {
+	k.mu.Lock()
+	va, ok := k.isrs[line]
+	k.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	k.SMR.Enter(c.ID)
+	defer k.SMR.Leave(c.ID)
+	_, err := c.Call(va, uint64(line))
+	return true, err
+}
+
+// slideISRs retargets registered handlers that point into the movable
+// range being moved — the interrupt-vector counterpart of
+// slideWorkqueue. Called by Module.Rerandomize under k's module lock.
+func (k *Kernel) slideISRs(oldBase, size, delta uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for line, va := range k.isrs {
+		if va >= oldBase && va < oldBase+size {
+			k.isrs[line] = va + delta
+		}
+	}
+}

@@ -107,6 +107,7 @@ type Kernel struct {
 	modules   map[string]*Module
 	cpus      []*cpu.CPU
 	workqueue []workItem
+	isrs      map[int]uint64 // IRQ line → handler VA (see irq.go)
 
 	log []string // printk buffer
 
@@ -479,6 +480,14 @@ func (k *Kernel) registerCoreNatives() {
 	// queue_work(fn, arg) defers fn(arg) to workqueue context (§3.4).
 	k.defineNativeLocked("queue_work", 80, func(c *cpu.CPU) error {
 		k.QueueWork(c.Regs[7], c.Regs[6]) // RDI, RSI
+		c.Regs[0] = 0
+		return nil
+	})
+	// request_irq(line, handler) registers an interrupt service routine.
+	// Like queue_work, the handler address may point into the module's
+	// movable part; the re-randomizer slides registered vectors on moves.
+	k.defineNativeLocked("request_irq", 150, func(c *cpu.CPU) error {
+		k.RegisterISR(int(c.Regs[7]), c.Regs[6]) // RDI, RSI
 		c.Regs[0] = 0
 		return nil
 	})

@@ -294,10 +294,12 @@ func (m *Module) Rerandomize() (uint64, error) {
 		oldLocalFrames = append(oldLocalFrames, mov.Frames[pg])
 		mov.Frames[pg] = newLocalFrames[pg-mov.localGotLo]
 	}
-	// Retarget pending deferred-work handlers that point into the range
-	// being moved (§3.4: the re-randomizer "will only need to modify the
-	// function handler address").
+	// Retarget pending deferred-work handlers and registered interrupt
+	// vectors that point into the range being moved (§3.4: the
+	// re-randomizer "will only need to modify the function handler
+	// address").
 	k.slideWorkqueue(oldBase, mov.Size, delta)
+	k.slideISRs(oldBase, mov.Size, delta)
 
 	mov.Base = newBase
 	mov.GotLocal.Base += delta

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"adelie/internal/bus"
 	"adelie/internal/devices"
 	"adelie/internal/drivers"
 	"adelie/internal/engine"
@@ -26,13 +27,11 @@ import (
 // CPUHz is the nominal clock of the simulated testbed (Table 1).
 const CPUHz = engine.CPUHz
 
-// MMIO window bases (inside the kernel half, away from other regions).
-const (
-	mmioNVMe = mm.KernelBase + 0x7_0000_0000
-	mmioNIC0 = mm.KernelBase + 0x7_0001_0000
-	mmioNIC1 = mm.KernelBase + 0x7_0002_0000
-	mmioXHCI = mm.KernelBase + 0x7_0003_0000
-)
+// mmioBase is where the device bus starts allocating MMIO windows
+// (inside the kernel half, away from other regions). Windows come out
+// in attach order: nvme, nic0, nic1, xhci — the same per-device bases
+// the testbed used before the bus existed.
+const mmioBase = mm.KernelBase + 0x7_0000_0000
 
 // Config configures a machine.
 type Config struct {
@@ -41,19 +40,23 @@ type Config struct {
 	KASLR   kernel.KASLRMode
 }
 
-// Machine is the assembled testbed.
+// Machine is the assembled testbed. Devices hang off the Bus, which
+// allocates their MMIO windows and owns the deterministic interrupt
+// controller; the named fields are conveniences into the same devices.
 type Machine struct {
 	K    *kernel.Kernel
 	R    *rerand.Randomizer
+	Bus  *bus.Bus
 	NVMe *devices.NVMe
-	NIC  *devices.NIC // server-side adapter
-	Peer *devices.NIC // load-generator adapter
+	NIC  *devices.NIC // server-side adapter ("nic0")
+	Peer *devices.NIC // load-generator adapter ("nic1")
 	XHCI *devices.XHCI
 
 	mods map[string]*kernel.Module
 }
 
-// NewMachine boots the testbed.
+// NewMachine boots the testbed: kernel, bus, and the Table-1 device set
+// attached in fixed order (deterministic bases and IRQ lines).
 func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.NumCPUs == 0 {
 		cfg.NumCPUs = 20
@@ -62,26 +65,31 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{K: k, R: rerand.New(k), mods: map[string]*kernel.Module{}}
+	m := &Machine{K: k, R: rerand.New(k), Bus: bus.New(k.AS, mmioBase), mods: map[string]*kernel.Module{}}
 
 	m.NVMe = devices.NewNVMe(k.AS)
-	if err := k.AS.RegisterMMIO(mmioNVMe, 1, m.NVMe); err != nil {
-		return nil, err
-	}
 	m.NIC = devices.NewNIC(k.AS)
-	if err := k.AS.RegisterMMIO(mmioNIC0, 1, m.NIC); err != nil {
-		return nil, err
-	}
+	m.NIC.Name = "nic0"
 	m.Peer = devices.NewNIC(k.AS)
-	if err := k.AS.RegisterMMIO(mmioNIC1, 1, m.Peer); err != nil {
-		return nil, err
+	m.Peer.Name = "nic1"
+	m.XHCI = devices.NewXHCI()
+	for _, d := range []bus.Device{m.NVMe, m.NIC, m.Peer, m.XHCI} {
+		if _, err := m.Bus.Attach(d); err != nil {
+			return nil, err
+		}
 	}
 	devices.Connect(m.NIC, m.Peer)
-	m.XHCI = devices.NewXHCI()
-	if err := k.AS.RegisterMMIO(mmioXHCI, 1, m.XHCI); err != nil {
-		return nil, err
-	}
 	return m, nil
+}
+
+// MMIOBase returns the bus window base of a named device ("nvme",
+// "nic0", "nic1", "xhci").
+func (m *Machine) MMIOBase(name string) (uint64, error) {
+	base, ok := m.Bus.Base(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no device %q on the bus", name)
+	}
+	return base, nil
 }
 
 // LoadDriver builds, loads and (if re-randomizable) registers a driver.
@@ -130,15 +138,32 @@ func (m *Machine) InitNVMe() error {
 	if err != nil {
 		return err
 	}
-	_, err = m.Call("nvme_init", mmioNVMe, sq, cq)
+	mmio, err := m.MMIOBase("nvme")
+	if err != nil {
+		return err
+	}
+	_, err = m.Call("nvme_init", mmio, sq, cq)
 	return err
 }
 
 // InitNIC allocates descriptor rings and RX buffers for one of the NIC
-// driver variants (prefix "e1000e", "e1000" or "ena") and initializes it.
-// It returns the ring length used.
+// driver variants (prefix "e1000e", "e1000" or "ena") and initializes it
+// against the server adapter, passing the adapter's bus IRQ line so the
+// driver can request_irq its NAPI-style ISR. It returns the ring length
+// used.
 func (m *Machine) InitNIC(prefix string) (uint64, error) {
-	const ringLen = 64
+	return m.InitNICRing(prefix, 64)
+}
+
+// InitNICRing is InitNIC with a caller-chosen ring length (small rings
+// force RX overruns for coalescing experiments). The length must be a
+// power of two: the drivers mask slot indexes instead of dividing, so
+// any other length would silently desync the driver's cursor from the
+// device's fill pointer.
+func (m *Machine) InitNICRing(prefix string, ringLen uint64) (uint64, error) {
+	if ringLen == 0 || ringLen&(ringLen-1) != 0 {
+		return 0, fmt.Errorf("sim: NIC ring length %d is not a power of two", ringLen)
+	}
 	tx, err := m.K.Kmalloc(ringLen * 16)
 	if err != nil {
 		return 0, err
@@ -157,13 +182,21 @@ func (m *Machine) InitNIC(prefix string) (uint64, error) {
 			return 0, err
 		}
 	}
-	_, err = m.Call(prefix+"_init", mmioNIC0, tx, rx, ringLen)
+	mmio, err := m.MMIOBase("nic0")
+	if err != nil {
+		return 0, err
+	}
+	_, err = m.Call(prefix+"_init", mmio, tx, rx, ringLen, uint64(m.NIC.IRQLine()))
 	return ringLen, err
 }
 
 // InitXHCI initializes the xHCI driver.
 func (m *Machine) InitXHCI() error {
-	_, err := m.Call("xhci_init", mmioXHCI)
+	mmio, err := m.MMIOBase("xhci")
+	if err != nil {
+		return err
+	}
+	_, err = m.Call("xhci_init", mmio)
 	return err
 }
 
@@ -183,11 +216,13 @@ type RunConfig = engine.RunConfig
 // RunResult is one measured configuration — a point on a §5 figure.
 type RunResult = engine.RunResult
 
-// Engine returns the parallel execution engine for this machine, with
-// the re-randomizer scheduled as a clocked actor and the NVMe controller
-// registered for epoch (round-granular) cache semantics.
+// Engine returns the parallel execution engine for this machine, wired
+// to the device bus: the re-randomizer runs as a clocked actor, epoch
+// devices (the NVMe controller) are discovered from the bus by
+// interface assertion, and device interrupts are delivered at the
+// engine's clock boundaries.
 func (m *Machine) Engine() *engine.Engine {
-	return engine.New(m.K, m.R, m.NVMe)
+	return engine.New(m.K, m.R, m.Bus)
 }
 
 // Run executes cfg.Ops operations across the machine's vCPUs under the

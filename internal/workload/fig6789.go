@@ -123,6 +123,12 @@ type OLTPRow struct {
 	Concurrency int
 	TPS         float64
 	CPUPct      float64
+	// NICDropped sums frames both adapters dropped: TX descriptor
+	// faults, plus RX ring overruns once traffic is delivered into a
+	// driver-owned ring (the OLTP/Apache response path is TX-only into
+	// the host-driven load generator, so overruns appear here when a
+	// workload adds server-bound RX traffic).
+	NICDropped uint64
 }
 
 // OLTPConcurrency is the Fig. 7 sweep.
@@ -215,6 +221,7 @@ func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, err
 	return OLTPRow{
 		Period: period.Label, Concurrency: concurrency,
 		TPS: res.OpsPerSec, CPUPct: res.CPUUsagePct,
+		NICDropped: m.NIC.Dropped + m.Peer.Dropped,
 	}, nil
 }
 
@@ -246,6 +253,7 @@ type ApacheRow struct {
 	Concurrency int
 	MBps        float64
 	CPUPct      float64
+	NICDropped  uint64 // frame drops across both adapters (see OLTPRow)
 }
 
 // ApacheBlockSizes and ApacheConcurrency are the Fig. 8 sweeps.
@@ -351,6 +359,7 @@ func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int
 	return ApacheRow{
 		Period: period.Label, BlockBytes: blockBytes, Concurrency: concurrency,
 		MBps: res.MBPerSec, CPUPct: res.CPUUsagePct,
+		NICDropped: m.NIC.Dropped + m.Peer.Dropped,
 	}, nil
 }
 
