@@ -1,17 +1,18 @@
-// Package adelie's top-level benchmarks regenerate every table and figure
-// of the paper's evaluation as testing.B benchmarks, reporting the
-// figure's headline metric via b.ReportMetric. The same sweeps are
-// available interactively through cmd/benchtool, which prints the full
-// data series; EXPERIMENTS.md records paper-vs-measured for each.
+// Package adelie's top-level benchmarks regenerate the paper's evaluation
+// by iterating the typed experiment registry: every registered figure,
+// table and scenario runs as one testing.B sub-benchmark, reporting its
+// headline simulated metrics via b.ReportMetric alongside the harness's
+// wall-clock ns/op. Adding an experiment to the registry adds it here
+// (and to cmd/benchtool) with no per-figure code.
 //
-// Benchmarks measure the simulated metrics (deterministic under the fixed
-// seeds) and report wall-clock ns/op for the harness itself.
+// Benchmarks run at -quick scale (each param's quick value) so the CI
+// 1-iteration pass stays fast; the simulated metrics are deterministic
+// under the registry's fixed seed params.
 package adelie_test
 
 import (
 	"testing"
 
-	"adelie/internal/attack"
 	"adelie/internal/cpu"
 	"adelie/internal/drivers"
 	"adelie/internal/kernel"
@@ -19,199 +20,25 @@ import (
 	"adelie/internal/workload"
 )
 
-// BenchmarkFig1CVEData reports the terminal-year driver-CVE counts of the
-// background figure (data series; no computation to speak of).
-func BenchmarkFig1CVEData(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		last := attack.CVEData[len(attack.CVEData)-1]
-		b.ReportMetric(float64(last.Linux), "linux-cves")
-		b.ReportMetric(float64(last.Windows), "windows-cves")
-	}
-}
-
-// BenchmarkFig5aModuleSize reports the mean PIC/vanilla size ratio across
-// the driver suite + synthetic corpus sample.
-func BenchmarkFig5aModuleSize(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.ModuleSizes(8)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var ratio float64
-		for _, r := range rows {
-			ratio += float64(r.PICBytes) / float64(r.VanillaBytes)
-		}
-		b.ReportMetric(ratio/float64(len(rows)), "pic-size-ratio")
-	}
-}
-
-// BenchmarkFig5bDDRead reports cached-read MB/s for the four §5.1 configs
-// at a 64 KB block size.
-func BenchmarkFig5bDDRead(b *testing.B) {
-	for _, cfg := range workload.PICConfigs {
-		b.Run(string(cfg), func(b *testing.B) {
+// BenchmarkExperiments runs every registered experiment at quick scale.
+// The ns/op figure tracks the harness itself; the reported metrics are
+// each figure's headline simulated numbers.
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range workload.Experiments.All() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := workload.DD(cfg, 64, 400)
+				t, err := e.Run(e.Params(true))
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(r.MBps, "MB/s")
-			}
-		})
-	}
-}
-
-// BenchmarkFig5cSysbench reports cached file_io MB/s, random and
-// sequential.
-func BenchmarkFig5cSysbench(b *testing.B) {
-	for _, mode := range []string{"seqrd", "rndrd"} {
-		for _, cfg := range []workload.Config{workload.CfgVanillaRet, workload.CfgPICRet} {
-			b.Run(mode+"/"+string(cfg), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					r, err := workload.Sysbench(cfg, mode, 300)
-					if err != nil {
-						b.Fatal(err)
+				if e.Headline != nil {
+					for name, v := range e.Headline(t) {
+						b.ReportMetric(v, name)
 					}
-					b.ReportMetric(r.MBps, "MB/s")
 				}
-			})
-		}
-	}
-}
-
-// BenchmarkFig5dKernbench reports kernel-space seconds at the optimal
-// concurrency level.
-func BenchmarkFig5dKernbench(b *testing.B) {
-	for _, cfg := range workload.PICConfigs {
-		b.Run(string(cfg), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := workload.Kernbench(cfg, 20, 40)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(r.KernelSec*1000, "kernel-ms")
 			}
 		})
-	}
-}
-
-// BenchmarkFig6NVMe reports NVMe direct-read throughput and CPU usage
-// under each re-randomization setting.
-func BenchmarkFig6NVMe(b *testing.B) {
-	cases := []struct {
-		name    string
-		period  workload.RerandPeriod
-		vanilla bool
-	}{
-		{"linux", workload.PeriodOff, true},
-		{"no-rerand", workload.PeriodNone, false},
-		{"5ms", workload.Period5ms, false},
-		{"1ms", workload.Period1ms, false},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := workload.NVMeDirectRead(c.period, c.vanilla, 600)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(r.MBps, "MB/s")
-				b.ReportMetric(r.CPUPct, "cpu%")
-			}
-		})
-	}
-}
-
-// BenchmarkFig7OLTP reports transactions/s at the saturation concurrency.
-func BenchmarkFig7OLTP(b *testing.B) {
-	cases := []struct {
-		name    string
-		period  workload.RerandPeriod
-		vanilla bool
-	}{
-		{"linux", workload.PeriodOff, true},
-		{"5ms", workload.Period5ms, false},
-		{"1ms", workload.Period1ms, false},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := workload.OLTP(c.period, c.vanilla, 100, 120)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(r.TPS, "tx/s")
-				b.ReportMetric(r.CPUPct, "cpu%")
-			}
-		})
-	}
-}
-
-// BenchmarkFig8Apache reports MB/s for the extreme block sizes at high
-// concurrency under the tightest period.
-func BenchmarkFig8Apache(b *testing.B) {
-	cases := []struct {
-		name    string
-		period  workload.RerandPeriod
-		vanilla bool
-		block   int
-	}{
-		{"linux/8k", workload.PeriodOff, true, 8192},
-		{"1ms/8k", workload.Period1ms, false, 8192},
-		{"linux/512", workload.PeriodOff, true, 512},
-		{"1ms/512", workload.Period1ms, false, 512},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := workload.Apache(c.period, c.vanilla, c.block, 100, 120)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(r.MBps, "MB/s")
-				b.ReportMetric(r.CPUPct, "cpu%")
-			}
-		})
-	}
-}
-
-// BenchmarkFig9Ioctl reports the null-ioctl rate per variant — the
-// CPU-bound worst case isolating wrapper and stack-swap costs.
-func BenchmarkFig9Ioctl(b *testing.B) {
-	for _, v := range workload.IoctlVariants {
-		b.Run(v.Name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := workload.Ioctl(v.Name, v.Cfg, 3000)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(r.MopsPerSec, "Mops/s")
-			}
-		})
-	}
-}
-
-// BenchmarkFig10Gadgets reports total gadget counts per population.
-func BenchmarkFig10Gadgets(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.GadgetDistribution(30)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			b.ReportMetric(float64(r.Dist.Total()), r.Population+"-gadgets")
-		}
-	}
-}
-
-// BenchmarkTable2Chains reports the NX-chain rate across the corpus.
-func BenchmarkTable2Chains(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		t, err := workload.ChainCensus(120, true)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(t.CleanChain+t.SideEffectChain)/float64(t.Modules)*100, "chain-rate-%")
 	}
 }
 
@@ -255,82 +82,5 @@ func BenchmarkEngineParallelLanes(b *testing.B) {
 				b.StartTimer()
 			}
 		})
-	}
-}
-
-// BenchmarkScalability reports the randomizer thread's single-core share
-// at a 20 ms period for a 60-module set (§5.4).
-func BenchmarkScalability(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.Scalability([]int{60}, 20)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(rows[0].CPUPct, "core-%")
-		b.ReportMetric(rows[0].CPUPct/60*950, "est-950-mods-%")
-	}
-}
-
-// BenchmarkSecurityAnalysis reports the §6 outcomes as 0/1 metrics.
-func BenchmarkSecurityAnalysis(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rep, err := workload.SecurityAnalysis()
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(boolMetric(rep.JITROPVanilla.Succeeded), "jitrop-vanilla-success")
-		b.ReportMetric(boolMetric(rep.JITROPDefended.Succeeded), "jitrop-defended-success")
-		b.ReportMetric(float64(rep.VanillaBruteForce.Attempts), "vanilla-bruteforce-attempts")
-	}
-}
-
-func boolMetric(v bool) float64 {
-	if v {
-		return 1
-	}
-	return 0
-}
-
-// BenchmarkAblationPatching reports the GOT shrinkage from the loader's
-// Fig.-4 run-time patching across the driver suite.
-func BenchmarkAblationPatching(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.PatchingAblation(200)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var with, without int
-		for _, r := range rows {
-			with += r.GotEntriesPatched
-			without += r.GotEntriesUnpatched
-		}
-		b.ReportMetric(float64(without-with), "got-entries-saved")
-	}
-}
-
-// BenchmarkAblationSMR reports each reclamation scheme's undriven backlog
-// after a re-randomization burst — why the paper picks Hyaline.
-func BenchmarkAblationSMR(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.SMRAblation()
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			b.ReportMetric(float64(r.DeltaAfterSteps), r.Scheme+"-backlog")
-		}
-	}
-}
-
-// BenchmarkAblationMechanisms reports the incremental cost of each
-// instrumentation mechanism on the CPU-bound ioctl path.
-func BenchmarkAblationMechanisms(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := workload.MechanismAblation(1500)
-		if err != nil {
-			b.Fatal(err)
-		}
-		base := rows[0].MopsPerSec
-		b.ReportMetric((1-rows[len(rows)-1].MopsPerSec/base)*100, "full-instr-cost-%")
 	}
 }

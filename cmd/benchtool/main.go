@@ -1,12 +1,20 @@
-// Command benchtool regenerates the paper's tables and figures. Each
-// experiment id prints the data series behind one figure/table of the
-// evaluation (§5–§6):
+// Command benchtool regenerates the paper's tables and figures by driving
+// the typed experiment registry in internal/workload. Every experiment —
+// each figure, table, ablation and scenario sweep of the evaluation
+// (§5–§6) — registers a descriptor (name, params with defaults, Run);
+// benchtool is a generic front end over them:
 //
-//	benchtool fig1 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10
-//	benchtool table2 scalability security
-//	benchtool all
+//	benchtool list                     # registered experiments + params
+//	benchtool run fig5b fig9           # run by name
+//	benchtool run all                  # everything, in paper order
+//	benchtool -quick run all           # reduced op counts, smoke pass
+//	benchtool -p ops=400 -p seed=7 run fig5b   # per-param overrides
+//	benchtool -json FILE run all       # structured Table JSON per figure
+//	benchtool validate FILE            # parse-check a -json record
 //
-// The -quick flag shrinks op counts for a fast smoke pass.
+// The bare historical spelling (`benchtool fig5b`, `benchtool all`) still
+// works. With default params every experiment reproduces its recorded
+// figure bit-identically.
 //
 // The selfbench experiment measures the harness itself (wall-clock time
 // per interpreted operation on the hot figure paths) rather than the
@@ -25,16 +33,31 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
-	"adelie/internal/attack"
 	"adelie/internal/workload"
 )
 
+// paramFlags collects repeated -p key=val overrides.
+type paramFlags []string
+
+func (p *paramFlags) String() string { return strings.Join(*p, ",") }
+func (p *paramFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return fmt.Errorf("want key=val, got %q", s)
+	}
+	*p = append(*p, s)
+	return nil
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "reduced op counts")
-	jsonPath := flag.String("json", "", "write selfbench results to this JSON file")
+	quick := flag.Bool("quick", false, "reduced op counts (each param's quick value)")
+	jsonPath := flag.String("json", "", "write results as JSON: selfbench record, or structured figure tables")
 	checkPath := flag.String("check", "", "compare this selfbench JSON against the best BENCH_*.json; exit 1 on >20% dd regression")
+	var overrides paramFlags
+	flag.Var(&overrides, "p", "override an experiment parameter (key=val, repeatable)")
 	flag.Parse()
 	args := flag.Args()
 	if *checkPath != "" {
@@ -50,33 +73,222 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	scale := 1
-	if *quick {
-		scale = 8
-	}
-	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6",
-			"fig7", "fig8", "fig9", "fig10", "table2", "scalability", "security", "ablation", "coalesce"}
-	}
-	for _, id := range args {
-		var err error
-		if id == "selfbench" {
-			err = selfbench(*jsonPath, scale)
-		} else {
-			err = run(id, scale)
+	switch args[0] {
+	case "list":
+		list()
+		return
+	case "validate":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtool: %s: %v\n", id, err)
+		if err := validate(args[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtool: validate: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	case "run":
+		args = args[1:]
+		if len(args) == 0 {
+			usage()
+			os.Exit(2)
+		}
+	}
+	// Anything else: experiment names directly (the historical spelling).
+	if err := runExperiments(args, overrides, *quick, *jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtool: %v\n", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-json FILE] [-check FILE] <experiment>...
-experiments: fig1 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10
-             table2 scalability security ablation coalesce selfbench all`)
+	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-p key=val]... [-json FILE] [-check FILE] <command>
+commands:
+  list                list registered experiments and their parameters
+  run <name...|all>   run experiments by registry name (also: bare names)
+  validate FILE       parse-check a -json figure record
+  selfbench           harness wall-clock benchmark (see -json / -check)
+experiments:`)
+	fmt.Fprintf(os.Stderr, "  %s selfbench all\n", strings.Join(workload.Experiments.Names(), " "))
 }
+
+// list prints the registry: one line per experiment plus its params.
+func list() {
+	for _, e := range workload.Experiments.All() {
+		fmt.Printf("%-12s %-22s %s\n", e.Name, e.Figure, e.Doc)
+		for _, s := range e.ParamSpecs {
+			q := ""
+			if s.Quick != 0 {
+				q = fmt.Sprintf(" (quick %d)", s.Quick)
+			}
+			fmt.Printf("             -p %s=%d%s  %s\n", s.Name, s.Default, q, s.Doc)
+		}
+	}
+	fmt.Printf("%-12s %-22s %s\n", "selfbench", "—", "harness wall-clock per simulated op (see -json/-check)")
+}
+
+// experimentRecord is one experiment's structured result in a -json file.
+type experimentRecord struct {
+	Name   string           `json:"name"`
+	Params map[string]int64 `json:"params"`
+	Table  *workload.Table  `json:"table"`
+}
+
+// figureRecord is the -json shape for figure runs (selfbench keeps its
+// own selfbenchRecord shape).
+type figureRecord struct {
+	GoVersion   string             `json:"go_version"`
+	Quick       bool               `json:"quick"`
+	Experiments []experimentRecord `json:"experiments"`
+}
+
+func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath string) error {
+	if len(names) == 1 && names[0] == "all" {
+		names = workload.Experiments.Names()
+	}
+	// selfbench's -json record is the BENCH_*.json trajectory format the
+	// -check gate reads; figure runs write structured Table JSON. One
+	// file can't be both, so mixing them under -json is an error rather
+	// than a silent drop of either record.
+	if jsonPath != "" && len(names) > 1 {
+		for _, n := range names {
+			if n == "selfbench" {
+				return fmt.Errorf("-json: cannot mix selfbench with figure experiments in one run; invoke them separately")
+			}
+		}
+	}
+	// Every -p override must be well-formed and match at least one
+	// selected experiment — catching a typo'd key or value up front
+	// beats silently running everything at defaults.
+	for _, kv := range overrides {
+		k, v, _ := strings.Cut(kv, "=")
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			return fmt.Errorf("-p %s: %q is not an integer", kv, v)
+		}
+		matched := false
+		for _, name := range names {
+			if exp, ok := workload.Experiments.Lookup(name); ok {
+				for _, s := range exp.ParamSpecs {
+					if s.Name == k {
+						matched = true
+					}
+				}
+			}
+		}
+		if !matched {
+			return fmt.Errorf("-p %s: no selected experiment has parameter %q (see benchtool list)", kv, k)
+		}
+	}
+	rec := figureRecord{GoVersion: runtime.Version(), Quick: quick}
+	wroteSelfbench := false
+	for _, name := range names {
+		if name == "selfbench" {
+			// selfbench owns the -json path when present: its record is
+			// the BENCH_*.json trajectory format the -check gate reads.
+			scale := 1
+			if quick {
+				scale = 8
+			}
+			if err := selfbench(jsonPath, scale); err != nil {
+				return fmt.Errorf("selfbench: %w", err)
+			}
+			wroteSelfbench = jsonPath != ""
+			continue
+		}
+		exp, ok := workload.Experiments.Lookup(name)
+		if !ok {
+			return unknownExperiment(name)
+		}
+		p := exp.Params(quick)
+		for _, kv := range overrides {
+			k, v, _ := strings.Cut(kv, "=")
+			// In a multi-name run "-p ops=…" tunes the experiments that
+			// have the param; pre-validation above guarantees each key
+			// matched somewhere and each value parses.
+			if err := p.SetString(k, v); err != nil {
+				continue
+			}
+		}
+		t, err := exp.Run(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.Fprint(os.Stdout)
+		rec.Experiments = append(rec.Experiments, experimentRecord{
+			Name: name, Params: p.Map(), Table: t,
+		})
+	}
+	if jsonPath != "" && len(rec.Experiments) > 0 && !wroteSelfbench {
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// unknownExperiment builds the error for a name the registry doesn't
+// know: a closest-match suggestion plus the full list.
+func unknownExperiment(name string) error {
+	msg := fmt.Sprintf("unknown experiment %q", name)
+	if s := workload.Experiments.Suggest(name); s != "" {
+		msg += fmt.Sprintf("; did you mean %q?", s)
+	}
+	return fmt.Errorf("%s\nregistered: %s selfbench", msg, strings.Join(workload.Experiments.Names(), " "))
+}
+
+// validate parse-checks a figure -json record: every experiment entry
+// must carry a non-empty table whose rows match its column schema. CI
+// runs it after the `run all -quick -json` smoke step.
+func validate(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec figureRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return err
+	}
+	if len(rec.Experiments) == 0 {
+		return fmt.Errorf("%s: no experiments recorded", path)
+	}
+	var check func(name string, t *workload.Table) error
+	check = func(name string, t *workload.Table) error {
+		if t == nil {
+			return fmt.Errorf("%s: experiment %s has no table", path, name)
+		}
+		if len(t.Rows) == 0 && len(t.Children) == 0 {
+			return fmt.Errorf("%s: experiment %s: empty table %q", path, name, t.Title)
+		}
+		for i, row := range t.Rows {
+			if len(row) != len(t.Columns) {
+				return fmt.Errorf("%s: experiment %s: table %q row %d has %d cells for %d columns",
+					path, name, t.Title, i, len(row), len(t.Columns))
+			}
+		}
+		for _, c := range t.Children {
+			if err := check(name, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, e := range rec.Experiments {
+		if err := check(e.Name, e.Table); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("validate: %s ok (%d experiments)\n", path, len(rec.Experiments))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// selfbench + the -check regression gate (the BENCH_*.json trajectory).
 
 // ddBenchKey is the hot-path figure the performance trajectory tracks;
 // nicBenchKey is the NIC RX→ISR→TX round-trip path added with the
@@ -178,7 +390,7 @@ type selfbenchRecord struct {
 // translation path are meant to improve; the simulated metrics ride
 // along as a sanity check that optimization did not change results.
 func selfbench(jsonPath string, scale int) error {
-	header("selfbench — harness wall-clock per simulated operation")
+	fmt.Printf("\n== %s ==\n", "selfbench — harness wall-clock per simulated operation")
 	rec := selfbenchRecord{
 		GoVersion: runtime.Version(),
 		Quick:     scale > 1,
@@ -271,315 +483,4 @@ func sortedKeys(m map[string]float64) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-func header(title string) {
-	fmt.Printf("\n== %s ==\n", title)
-}
-
-func run(id string, scale int) error {
-	switch id {
-	case "fig1":
-		header("Fig. 1 — driver CVEs per year (synthesized series, see EXPERIMENTS.md)")
-		fmt.Printf("%-6s %8s %8s\n", "year", "linux", "windows")
-		for _, p := range attack.CVEData {
-			fmt.Printf("%-6d %8d %8d\n", p.Year, p.Linux, p.Windows)
-		}
-		return nil
-
-	case "fig5a":
-		header("Fig. 5a — module size, vanilla vs PIC+retpoline (bytes)")
-		rows, err := workload.ModuleSizes(8)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-12s %10s %10s %8s\n", "module", "linux", "pic", "ratio")
-		for _, r := range rows {
-			fmt.Printf("%-12s %10d %10d %8.3f\n", r.Module, r.VanillaBytes, r.PICBytes,
-				float64(r.PICBytes)/float64(r.VanillaBytes))
-		}
-		return nil
-
-	case "fig5b":
-		header("Fig. 5b — dd cached-read microbenchmark (MB/s)")
-		rows, err := workload.DDSweep(1600 / scale)
-		if err != nil {
-			return err
-		}
-		return printMatrix(rowsToCells(rows, func(r workload.DDRow) (string, string, float64) {
-			return fmt.Sprintf("%dKB", r.BlockKB), string(r.Config), r.MBps
-		}))
-
-	case "fig5c":
-		header("Fig. 5c — sysbench file_io cached reads (MB/s)")
-		rows, err := workload.SysbenchSweep(1200 / scale)
-		if err != nil {
-			return err
-		}
-		return printMatrix(rowsToCells(rows, func(r workload.SysbenchRow) (string, string, float64) {
-			return r.Mode, string(r.Config), r.MBps
-		}))
-
-	case "fig5d":
-		header("Fig. 5d — kernbench kernel-space time (ms, fixed job count)")
-		rows, err := workload.KernbenchSweep(160 / scale)
-		if err != nil {
-			return err
-		}
-		return printMatrix(rowsToCells(rows, func(r workload.KernbenchRow) (string, string, float64) {
-			return fmt.Sprintf("-j%d", r.Concurrency), string(r.Config), r.KernelSec * 1000
-		}))
-
-	case "fig6":
-		header("Fig. 6 — NVMe O_DIRECT 512B read under re-randomization")
-		rows, err := workload.NVMeSweep(2400 / scale)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %10s %12s %8s %10s\n", "config", "MB/s", "IOPS", "CPU%", "rerand%")
-		for _, r := range rows {
-			fmt.Printf("%-10s %10.1f %12.0f %8.2f %10.4f\n", r.Period, r.MBps, r.IOPS, r.CPUPct, r.RerandPct)
-		}
-		return nil
-
-	case "fig7":
-		header("Fig. 7 — mySQL OLTP (E1000E+NVMe re-randomized)")
-		rows, err := workload.OLTPSweep(400 / scale)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %6s %10s %8s %8s\n", "config", "conc", "tx/s", "CPU%", "drops")
-		for _, r := range rows {
-			fmt.Printf("%-10s %6d %10.0f %8.2f %8d\n", r.Period, r.Concurrency, r.TPS, r.CPUPct, r.NICDropped)
-		}
-		return nil
-
-	case "fig8":
-		header("Fig. 8 — ApacheBench (5 modules re-randomized)")
-		rows, err := workload.ApacheSweep(240 / scale)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %7s %6s %10s %8s %8s\n", "config", "block", "conc", "MB/s", "CPU%", "drops")
-		for _, r := range rows {
-			fmt.Printf("%-10s %7d %6d %10.1f %8.2f %8d\n", r.Period, r.BlockBytes, r.Concurrency, r.MBps, r.CPUPct, r.NICDropped)
-		}
-		return nil
-
-	case "fig9":
-		header("Fig. 9 — IOCTL null-op throughput (CPU-bound worst case)")
-		rows, err := workload.IoctlSweep(24000 / scale)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-16s %10s %8s %10s\n", "variant", "Mops/s", "CPU%", "vs linux")
-		base := rows[0].MopsPerSec
-		for _, r := range rows {
-			fmt.Printf("%-16s %10.3f %8.2f %9.1f%%\n", r.Variant, r.MopsPerSec, r.CPUPct,
-				(r.MopsPerSec/base-1)*100)
-		}
-		return nil
-
-	case "fig10":
-		header("Fig. 10 — ROP gadget distribution (counts per class)")
-		rows, err := workload.GadgetDistribution(120 / max(1, scale/4))
-		if err != nil {
-			return err
-		}
-		classes := []attack.GadgetClass{}
-		seen := map[attack.GadgetClass]bool{}
-		for _, r := range rows {
-			for _, c := range r.Dist.Classes() {
-				if !seen[c] {
-					seen[c] = true
-					classes = append(classes, c)
-				}
-			}
-		}
-		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-		fmt.Printf("%-15s", "population")
-		for _, c := range classes {
-			fmt.Printf(" %9s", c)
-		}
-		fmt.Printf(" %9s\n", "total")
-		for _, r := range rows {
-			fmt.Printf("%-15s", r.Population)
-			for _, c := range classes {
-				fmt.Printf(" %9d", r.Dist[c])
-			}
-			fmt.Printf(" %9d\n", r.Dist.Total())
-		}
-		return nil
-
-	case "table2":
-		header("Table 2 — ROP gadget categories (NX-disable chains)")
-		fmt.Printf("%-38s %10s %10s\n", "", "Non-PIC", "PIC")
-		n := 400 / max(1, scale/2)
-		plain, err := workload.ChainCensus(n, false)
-		if err != nil {
-			return err
-		}
-		pic, err := workload.ChainCensus(n, true)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-38s %10d %10d\n", "With ROP Chain, no side-effect", plain.CleanChain, pic.CleanChain)
-		fmt.Printf("%-38s %10d %10d\n", "With ROP Chain, with side-effect", plain.SideEffectChain, pic.SideEffectChain)
-		fmt.Printf("%-38s %10d %10d\n", "Without ROP Chain", plain.NoChain, pic.NoChain)
-		fmt.Printf("%-38s %10d %10d\n", "Number of Modules", plain.Modules, pic.Modules)
-		fmt.Printf("chain rate: non-PIC %.1f%%, PIC %.1f%% (paper: 80%%)\n",
-			float64(plain.CleanChain+plain.SideEffectChain)/float64(n)*100,
-			float64(pic.CleanChain+pic.SideEffectChain)/float64(n)*100)
-		return nil
-
-	case "scalability":
-		header("§5.4 — re-randomizer thread CPU share (20 ms period)")
-		counts := []int{1, 5, 20, 60, 120}
-		if scale > 1 {
-			counts = []int{1, 5, 20}
-		}
-		rows, err := workload.Scalability(counts, 20)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %12s\n", "modules", "CPU% (1 core)")
-		for _, r := range rows {
-			fmt.Printf("%-10d %12.4f\n", r.Modules, r.CPUPct)
-		}
-		if len(rows) > 1 {
-			per := rows[len(rows)-1].CPUPct / float64(rows[len(rows)-1].Modules)
-			fmt.Printf("extrapolated 950 modules: %.2f%% of one core (paper: comfortably feasible)\n", per*950)
-		}
-		return nil
-
-	case "ablation":
-		header("Ablation A — loader run-time patching (paper Fig. 4 / §4.1)")
-		prows, err := workload.PatchingAblation(2000)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-8s %18s %14s %16s\n", "driver", "GOT entries", "PLT stubs", "patched sites")
-		for _, r := range prows {
-			fmt.Printf("%-8s %8d → %-7d %5d → %-6d %7d+%d\n", r.Driver,
-				r.GotEntriesUnpatched, r.GotEntriesPatched,
-				r.StubsUnpatched, r.StubsPatched,
-				r.CallsPatched, r.LoadsPatched)
-		}
-		for _, r := range prows {
-			if r.Driver == "dummy" {
-				fmt.Printf("dummy ioctl rate: %.3f Mops/s patched vs %.3f unpatched\n",
-					r.MopsPatched, r.MopsUnpatched)
-			}
-		}
-
-		header("Ablation B — SMR scheme as the delayed-unmap backend (§3.4)")
-		srows, err := workload.SMRAblation()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %22s %18s %12s\n", "scheme", "backlog (no driving)", "after flush", "step cycles")
-		for _, r := range srows {
-			fmt.Printf("%-10s %22d %18d %12d\n", r.Scheme, r.DeltaAfterSteps, r.DeltaAfterFlush, r.StepCycles)
-		}
-
-		header("Ablation C — per-mechanism instrumentation cost")
-		mrows, err := workload.MechanismAblation(6000)
-		if err != nil {
-			return err
-		}
-		base := mrows[0].MopsPerSec
-		fmt.Printf("%-24s %10s %10s\n", "mechanisms", "Mops/s", "vs pic")
-		for _, r := range mrows {
-			fmt.Printf("%-24s %10.3f %9.1f%%\n", r.Mechanism, r.MopsPerSec, (r.MopsPerSec/base-1)*100)
-		}
-		return nil
-
-	case "coalesce":
-		header("NIC interrupt coalescing — RX latency / IRQ rate / drops vs max-frames")
-		rows, err := workload.NICCoalesceSweep(960 / scale)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10s %9s %8s %8s %8s %8s %12s %10s\n",
-			"maxframes", "delay_us", "rx", "drained", "dropped", "irqs", "raised", "rxlat_us")
-		for _, r := range rows {
-			fmt.Printf("%-10d %9.0f %8d %8d %8d %8d %12d %10.2f\n",
-				r.MaxFrames, r.DelayUs, r.RxFrames, r.DrainedRx, r.Dropped, r.IRQs, r.IRQsRaised, r.AvgIRQLatUs)
-		}
-		return nil
-
-	case "security":
-		header("§6 — security analysis")
-		rep, err := workload.SecurityAnalysis()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("guess probability     vanilla 2^-19 = %.3g   Adelie 2^-44 = %.3g\n",
-			rep.VanillaGuessProb, rep.Full64GuessProb)
-		fmt.Printf("brute force (8-page module, ≤4M probes):\n")
-		fmt.Printf("  vanilla window: found=%v after %d attempts\n",
-			rep.VanillaBruteForce.Found, rep.VanillaBruteForce.Attempts)
-		fmt.Printf("  64-bit window:  found=%v after %d attempts\n",
-			rep.Full64BruteForce.Found, rep.Full64BruteForce.Attempts)
-		fmt.Printf("JIT-ROP (attack ≈ %.0f µs end-to-end):\n", rep.AttackMicros)
-		fmt.Printf("  no re-randomization: success=%v (%s)\n",
-			rep.JITROPVanilla.Succeeded, rep.JITROPVanilla.Reason)
-		fmt.Printf("  5 ms period:         success=%v (%s)\n",
-			rep.JITROPDefended.Succeeded, rep.JITROPDefended.Reason)
-		return nil
-	}
-	return fmt.Errorf("unknown experiment %q", id)
-}
-
-// printMatrix renders (row, col, value) cells as a table with stable
-// row/column order of first appearance.
-type cell struct {
-	row, col string
-	val      float64
-}
-
-func rowsToCells[T any](rows []T, f func(T) (string, string, float64)) []cell {
-	out := make([]cell, len(rows))
-	for i, r := range rows {
-		rr, cc, v := f(r)
-		out[i] = cell{rr, cc, v}
-	}
-	return out
-}
-
-func printMatrix(cells []cell) error {
-	var rowOrder, colOrder []string
-	seenR, seenC := map[string]bool{}, map[string]bool{}
-	vals := map[string]float64{}
-	for _, c := range cells {
-		if !seenR[c.row] {
-			seenR[c.row] = true
-			rowOrder = append(rowOrder, c.row)
-		}
-		if !seenC[c.col] {
-			seenC[c.col] = true
-			colOrder = append(colOrder, c.col)
-		}
-		vals[c.row+"\x00"+c.col] = c.val
-	}
-	fmt.Printf("%-10s", "")
-	for _, c := range colOrder {
-		fmt.Printf(" %12s", c)
-	}
-	fmt.Println()
-	for _, r := range rowOrder {
-		fmt.Printf("%-10s", r)
-		for _, c := range colOrder {
-			fmt.Printf(" %12.1f", vals[r+"\x00"+c])
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

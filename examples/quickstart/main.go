@@ -3,21 +3,24 @@
 //
 // This is the 60-second tour of the public API:
 //
-//	kcc     — write a driver in the IR
-//	plugin  — the "GCC plugin": wrap exports, inject encryption
-//	kernel  — boot, load, resolve, protect
-//	rerand  — continuous re-randomization
+//	kcc      — write a driver in the IR
+//	plugin   — the "GCC plugin": wrap exports, inject encryption
+//	kernel   — boot, load, resolve, protect
+//	rerand   — continuous re-randomization
+//	workload — the evaluation as a typed experiment registry
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"adelie/internal/isa"
 	"adelie/internal/kcc"
 	"adelie/internal/kernel"
 	"adelie/internal/plugin"
 	"adelie/internal/rerand"
+	"adelie/internal/workload"
 )
 
 func main() {
@@ -81,4 +84,18 @@ func main() {
 	}
 	k.SMR.Flush()
 	fmt.Printf("old address ranges drained; SMR delta = %d\n", k.SMR.Stats().Delta())
+
+	// 6. Every figure of the paper's evaluation is a registered
+	// Experiment: look one up by name, take its default params (override
+	// any with Set), run it, and render or marshal the typed Table.
+	// `benchtool list` shows them all; this is the API it drives.
+	exp, ok := workload.Experiments.Lookup("fig1")
+	if !ok {
+		log.Fatal("fig1 not registered")
+	}
+	table, err := exp.Run(exp.Params(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.Fprint(os.Stdout)
 }

@@ -5,6 +5,8 @@
 package adelie_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -15,6 +17,7 @@ import (
 	"adelie/internal/kernel"
 	"adelie/internal/mm"
 	"adelie/internal/sim"
+	"adelie/internal/workload"
 )
 
 func fullOpts() drivers.BuildOpts {
@@ -113,6 +116,53 @@ func TestArtifactWorkflow(t *testing.T) {
 	for _, d := range []string{"dummy", "nvme", "e1000e", "ext4", "fuse", "xhci"} {
 		if got := m.Module(d).Rerandomizations; got != uint64(res.RerandSteps) {
 			t.Errorf("%s moved %d times, want %d", d, got, res.RerandSteps)
+		}
+	}
+}
+
+// TestExperimentRegistryEndToEnd drives the experiment API the way
+// cmd/benchtool does — lookup, param overrides, Run, render, JSON —
+// for a machine-booting figure, end to end through the public surface.
+func TestExperimentRegistryEndToEnd(t *testing.T) {
+	exp, ok := workload.Experiments.Lookup("fig9")
+	if !ok {
+		t.Fatal("fig9 not registered")
+	}
+	p := exp.Params(false)
+	if err := p.Set("ops", 300); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := exp.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(workload.IoctlVariants) {
+		t.Fatalf("fig9 produced %d rows, want %d", len(tab.Rows), len(workload.IoctlVariants))
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== Fig. 9", "wrappers+stack", "vs linux"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// The structured form must round-trip: every row matches the schema.
+	b, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back workload.Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(tab.Rows) || len(back.Columns) != len(tab.Columns) {
+		t.Fatalf("JSON round-trip changed shape: %d×%d vs %d×%d",
+			len(back.Rows), len(back.Columns), len(tab.Rows), len(tab.Columns))
+	}
+	for i, row := range back.Rows {
+		if len(row) != len(back.Columns) {
+			t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(back.Columns))
 		}
 	}
 }

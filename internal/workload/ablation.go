@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"adelie/internal/cpu"
 	"adelie/internal/drivers"
 	"adelie/internal/kernel"
@@ -33,17 +35,29 @@ type PatchRow struct {
 	MopsUnpatched float64
 }
 
+// Default seeds of the three ablations (the registry descriptor's seed
+// params: "seed" drives A, "smrseed" B, "mechseed" C).
+const (
+	seedAblationPatching  int64 = 111
+	seedAblationSMR       int64 = 222
+	seedAblationMechanism int64 = 333
+)
+
 // PatchingAblation loads each driver under retpoline PIC with the Fig.-4
 // optimizations on and off, and measures the table sizes plus the
 // dummy driver's call rate both ways.
 func PatchingAblation(ops int) ([]PatchRow, error) {
+	return patchingAblation(seedAblationPatching, ops)
+}
+
+func patchingAblation(seed int64, ops int) ([]PatchRow, error) {
 	names := []string{"dummy", "nvme", "e1000e", "ext4", "fuse", "xhci"}
 	var rows []PatchRow
 	for _, name := range names {
 		row := PatchRow{Driver: name}
 		for _, disabled := range []bool{false, true} {
 			k, err := kernel.New(kernel.Config{
-				NumCPUs: 20, Seed: 111, KASLR: kernel.KASLRFull64,
+				NumCPUs: 20, Seed: seed, KASLR: kernel.KASLRFull64,
 				DisableFig4Patching: disabled,
 			})
 			if err != nil {
@@ -121,6 +135,10 @@ type SMRRow struct {
 // SMRAblation runs the same re-randomization burst under Hyaline, EBR and
 // QSBR.
 func SMRAblation() ([]SMRRow, error) {
+	return smrAblation(seedAblationSMR)
+}
+
+func smrAblation(seed int64) ([]SMRRow, error) {
 	mk := func(name string, ncpu int) smr.Reclaimer {
 		switch name {
 		case "hyaline":
@@ -135,7 +153,7 @@ func SMRAblation() ([]SMRRow, error) {
 	for _, scheme := range []string{"hyaline", "ebr", "qsbr"} {
 		const ncpu = 4
 		k, err := kernel.New(kernel.Config{
-			NumCPUs: ncpu, Seed: 222, KASLR: kernel.KASLRFull64,
+			NumCPUs: ncpu, Seed: seed, KASLR: kernel.KASLRFull64,
 			Reclaimer: mk(scheme, ncpu),
 		})
 		if err != nil {
@@ -193,6 +211,10 @@ type MechanismRow struct {
 // MechanismAblation measures the dummy-ioctl rate with each mechanism
 // enabled incrementally: plain PIC → wrappers → +encryption → +stack.
 func MechanismAblation(ops int) ([]MechanismRow, error) {
+	return mechanismAblation(seedAblationMechanism, ops)
+}
+
+func mechanismAblation(seed int64, ops int) ([]MechanismRow, error) {
 	cases := []struct {
 		name string
 		opts drivers.BuildOpts
@@ -204,7 +226,7 @@ func MechanismAblation(ops int) ([]MechanismRow, error) {
 	}
 	var rows []MechanismRow
 	for _, cse := range cases {
-		m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: 333, KASLR: kernel.KASLRFull64})
+		m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: seed, KASLR: kernel.KASLRFull64})
 		if err != nil {
 			return nil, err
 		}
@@ -226,4 +248,87 @@ func MechanismAblation(ops int) ([]MechanismRow, error) {
 		rows = append(rows, MechanismRow{Mechanism: cse.name, MopsPerSec: res.OpsPerSec / 1e6})
 	}
 	return rows, nil
+}
+
+var expAblation = &Experiment{
+	Name:   "ablation",
+	Figure: "Fig. 4 / §3.4 / §4.1",
+	Doc:    "design ablations: loader patching, SMR scheme, per-mechanism cost",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "ioctl calls per patching measurement", Default: 2000, Quick: 500},
+		{Name: "mechops", Doc: "ioctl calls per mechanism measurement", Default: 6000, Quick: 1500},
+		{Name: "seed", Doc: "kernel seed for the patching ablation", Default: seedAblationPatching},
+		{Name: "smrseed", Doc: "kernel seed for the SMR ablation", Default: seedAblationSMR},
+		{Name: "mechseed", Doc: "machine seed for the mechanism ablation", Default: seedAblationMechanism},
+	},
+	Run: func(p Params) (*Table, error) {
+		prows, err := patchingAblation(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		a := &Table{
+			Title: "Ablation A — loader run-time patching (paper Fig. 4 / §4.1)",
+			Columns: []Column{
+				Col("driver", "%-8s", "%-8s"),
+				Col("GOT entries", "%s", "%18s"),
+				Col("PLT stubs", "%s", "%14s"),
+				Col("patched sites", "%s", "%16s"),
+			},
+		}
+		for _, r := range prows {
+			a.AddRow(r.Driver,
+				fmt.Sprintf("%8d → %-7d", r.GotEntriesUnpatched, r.GotEntriesPatched),
+				fmt.Sprintf("%5d → %-6d", r.StubsUnpatched, r.StubsPatched),
+				fmt.Sprintf("%7d+%d", r.CallsPatched, r.LoadsPatched))
+		}
+		for _, r := range prows {
+			if r.Driver == "dummy" {
+				a.Notef("dummy ioctl rate: %.3f Mops/s patched vs %.3f unpatched",
+					r.MopsPatched, r.MopsUnpatched)
+			}
+		}
+
+		srows, err := smrAblation(p.Int64("smrseed"))
+		if err != nil {
+			return nil, err
+		}
+		b := &Table{
+			Title: "Ablation B — SMR scheme as the delayed-unmap backend (§3.4)",
+			Columns: []Column{
+				Col("scheme", "%-10s", "%-10s"),
+				Col("backlog (no driving)", "%22d", "%22s"),
+				Col("after flush", "%18d", "%18s"),
+				Col("step cycles", "%12d", "%12s"),
+			},
+		}
+		for _, r := range srows {
+			b.AddRow(r.Scheme, r.DeltaAfterSteps, r.DeltaAfterFlush, r.StepCycles)
+		}
+
+		mrows, err := mechanismAblation(p.Int64("mechseed"), p.Int("mechops"))
+		if err != nil {
+			return nil, err
+		}
+		c := &Table{
+			Title: "Ablation C — per-mechanism instrumentation cost",
+			Columns: []Column{
+				Col("mechanisms", "%-24s", "%-24s"),
+				Col("Mops/s", "%10.3f", "%10s"),
+				{Name: "vs pic", Head: "vs pic", Fmt: "%9.1f%%", HeadFmt: "%10s"},
+			},
+		}
+		base := mrows[0].MopsPerSec
+		for _, r := range mrows {
+			c.AddRow(r.Mechanism, r.MopsPerSec, (r.MopsPerSec/base-1)*100)
+		}
+
+		a.Children = []*Table{b, c}
+		return a, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		mech := t.Children[1]
+		first := mech.Rows[0][1].(float64)
+		last := mech.Rows[len(mech.Rows)-1][1].(float64)
+		return map[string]float64{"full-instr-cost-pct": (1 - last/first) * 100}
+	},
 }

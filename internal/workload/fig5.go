@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -22,12 +23,26 @@ type SizeRow struct {
 	PICBytes     uint64 // PIC + retpoline, as the paper presents
 }
 
+// Default seeds of the Fig. 5 experiments. They are the "seed" param
+// defaults in the registry descriptors; the exported convenience
+// functions pin them so recorded figures stay reproducible.
+const (
+	seedFig5a int64 = 5
+	seedFig5b int64 = 301
+	seedFig5c int64 = 302
+	seedFig5d int64 = 303
+)
+
 // ModuleSizes builds the driver suite plus a sample of the synthetic
 // corpus under both code models, loads each into a kernel, and reports
 // loaded content sizes (sections + GOT slots + PLT stubs) — the memory
 // footprint Fig. 5a compares. Non-PIC modules carry no GOT/PLT; the PIC
 // build's overhead is the table entries and stubs the loader creates.
 func ModuleSizes(extraSynthetic int) ([]SizeRow, error) {
+	return moduleSizes(seedFig5a, extraSynthetic)
+}
+
+func moduleSizes(seed int64, extraSynthetic int) ([]SizeRow, error) {
 	var rows []SizeRow
 	mods := map[string]func() *kcc.Module{}
 	for n, mk := range drivers.All() {
@@ -48,7 +63,7 @@ func ModuleSizes(extraSynthetic int) ([]SizeRow, error) {
 		if err != nil {
 			return 0, err
 		}
-		k, err := kernel.New(kernel.Config{NumCPUs: 1, Seed: 5, KASLR: mode})
+		k, err := kernel.New(kernel.Config{NumCPUs: 1, Seed: seed, KASLR: mode})
 		if err != nil {
 			return 0, err
 		}
@@ -72,6 +87,43 @@ func ModuleSizes(extraSynthetic int) ([]SizeRow, error) {
 	return rows, nil
 }
 
+var expFig5a = &Experiment{
+	Name:   "fig5a",
+	Figure: "Fig. 5a",
+	Doc:    "module memory footprint, vanilla vs PIC+retpoline",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "synthetic corpus modules sized alongside the driver suite", Default: 8},
+		{Name: "seed", Doc: "kernel boot seed", Default: seedFig5a},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := moduleSizes(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "Fig. 5a — module size, vanilla vs PIC+retpoline (bytes)",
+			Columns: []Column{
+				Col("module", "%-12s", "%-12s"),
+				Col("linux", "%10d", "%10s"),
+				Col("pic", "%10d", "%10s"),
+				Col("ratio", "%8.3f", "%8s"),
+			},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Module, r.VanillaBytes, r.PICBytes,
+				float64(r.PICBytes)/float64(r.VanillaBytes))
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		var ratio float64
+		for _, r := range t.Rows {
+			ratio += r[3].(float64)
+		}
+		return map[string]float64{"pic-size-ratio": ratio / float64(len(t.Rows))}
+	},
+}
+
 // ---------------------------------------------------------------------------
 // Fig. 5b — dd buffer-cache read microbenchmark.
 
@@ -92,7 +144,11 @@ var PICConfigs = []Config{CfgVanilla, CfgVanillaRet, CfgPIC, CfgPICRet}
 // (CPU-bound, §5.1), with the ext4 module's get_block on the per-page
 // path — where PIC and retpoline costs live.
 func DD(cfg Config, blockKB, ops int) (DDRow, error) {
-	m, err := newMachine(cfg, 301, "ext4")
+	return dd(seedFig5b, cfg, blockKB, ops)
+}
+
+func dd(seed int64, cfg Config, blockKB, ops int) (DDRow, error) {
+	m, err := newMachine(cfg, seed, "ext4")
 	if err != nil {
 		return DDRow{}, err
 	}
@@ -131,10 +187,14 @@ func DD(cfg Config, blockKB, ops int) (DDRow, error) {
 
 // DDSweep runs the full Fig. 5b grid.
 func DDSweep(ops int) ([]DDRow, error) {
+	return ddSweep(seedFig5b, ops)
+}
+
+func ddSweep(seed int64, ops int) ([]DDRow, error) {
 	var rows []DDRow
 	for _, cfg := range PICConfigs {
 		for _, bs := range DDBlockSizesKB {
-			r, err := DD(cfg, bs, ops)
+			r, err := dd(seed, cfg, bs, ops)
 			if err != nil {
 				return nil, err
 			}
@@ -142,6 +202,31 @@ func DDSweep(ops int) ([]DDRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+var expFig5b = &Experiment{
+	Name:   "fig5b",
+	Figure: "Fig. 5b",
+	Doc:    "dd cached-read microbenchmark across the §5.1 configs",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "dd reads per configuration point", Default: 1600, Quick: 200},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig5b},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := ddSweep(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]matrixCell, len(rows))
+		for i, r := range rows {
+			cells[i] = matrixCell{fmt.Sprintf("%dKB", r.BlockKB), string(r.Config), r.MBps}
+		}
+		return matrixTable("Fig. 5b — dd cached-read microbenchmark (MB/s)", cells), nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		v, _ := t.Cell("64KB", string(CfgPICRet))
+		return map[string]float64{"dd64-picret-MBps": v}
+	},
 }
 
 // ---------------------------------------------------------------------------
@@ -158,7 +243,11 @@ type SysbenchRow struct {
 // per-op block lookup and worse locality (modelled as an additional
 // get_block call), matching sysbench's rndrd/seqrd split.
 func Sysbench(cfg Config, mode string, ops int) (SysbenchRow, error) {
-	m, err := newMachine(cfg, 302, "ext4")
+	return sysbench(seedFig5c, cfg, mode, ops)
+}
+
+func sysbench(seed int64, cfg Config, mode string, ops int) (SysbenchRow, error) {
+	m, err := newMachine(cfg, seed, "ext4")
 	if err != nil {
 		return SysbenchRow{}, err
 	}
@@ -205,10 +294,14 @@ func Sysbench(cfg Config, mode string, ops int) (SysbenchRow, error) {
 
 // SysbenchSweep runs the Fig. 5c grid.
 func SysbenchSweep(ops int) ([]SysbenchRow, error) {
+	return sysbenchSweep(seedFig5c, ops)
+}
+
+func sysbenchSweep(seed int64, ops int) ([]SysbenchRow, error) {
 	var rows []SysbenchRow
 	for _, cfg := range PICConfigs {
 		for _, mode := range []string{"seqrd", "rndrd"} {
-			r, err := Sysbench(cfg, mode, ops)
+			r, err := sysbench(seed, cfg, mode, ops)
 			if err != nil {
 				return nil, err
 			}
@@ -216,6 +309,31 @@ func SysbenchSweep(ops int) ([]SysbenchRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+var expFig5c = &Experiment{
+	Name:   "fig5c",
+	Figure: "Fig. 5c",
+	Doc:    "sysbench file_io cached reads, sequential and random",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "file_io requests per configuration point", Default: 1200, Quick: 150},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig5c},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := sysbenchSweep(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]matrixCell, len(rows))
+		for i, r := range rows {
+			cells[i] = matrixCell{r.Mode, string(r.Config), r.MBps}
+		}
+		return matrixTable("Fig. 5c — sysbench file_io cached reads (MB/s)", cells), nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		v, _ := t.Cell("rndrd", string(CfgPICRet))
+		return map[string]float64{"rndrd-picret-MBps": v}
+	},
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +354,11 @@ var KernbenchConcurrency = []int{10, 20, 40}
 // syscalls (opens, cached reads, allocations) with module code on the
 // path, and reports kernel-space seconds.
 func Kernbench(cfg Config, concurrency, jobs int) (KernbenchRow, error) {
-	m, err := newMachine(cfg, 303, "ext4", "fuse")
+	return kernbench(seedFig5d, cfg, concurrency, jobs)
+}
+
+func kernbench(seed int64, cfg Config, concurrency, jobs int) (KernbenchRow, error) {
+	m, err := newMachine(cfg, seed, "ext4", "fuse")
 	if err != nil {
 		return KernbenchRow{}, err
 	}
@@ -275,10 +397,17 @@ func Kernbench(cfg Config, concurrency, jobs int) (KernbenchRow, error) {
 
 // KernbenchSweep runs the Fig. 5d grid.
 func KernbenchSweep(jobs int) ([]KernbenchRow, error) {
+	return kernbenchSweep(seedFig5d, jobs, KernbenchConcurrency[len(KernbenchConcurrency)-1])
+}
+
+func kernbenchSweep(seed int64, jobs, maxConc int) ([]KernbenchRow, error) {
 	var rows []KernbenchRow
 	for _, cfg := range PICConfigs {
 		for _, conc := range KernbenchConcurrency {
-			r, err := Kernbench(cfg, conc, jobs)
+			if conc > maxConc {
+				continue
+			}
+			r, err := kernbench(seed, cfg, conc, jobs)
 			if err != nil {
 				return nil, err
 			}
@@ -286,4 +415,30 @@ func KernbenchSweep(jobs int) ([]KernbenchRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+var expFig5d = &Experiment{
+	Name:   "fig5d",
+	Figure: "Fig. 5d",
+	Doc:    "kernbench kernel-space time of a compile-like syscall mix",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "compile jobs per configuration point", Default: 160, Quick: 20},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig5d},
+		{Name: "conc", Doc: "cap on the -j concurrency sweep", Default: 40},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := kernbenchSweep(p.Int64("seed"), p.Int("ops"), p.Int("conc"))
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]matrixCell, len(rows))
+		for i, r := range rows {
+			cells[i] = matrixCell{fmt.Sprintf("-j%d", r.Concurrency), string(r.Config), r.KernelSec * 1000}
+		}
+		return matrixTable("Fig. 5d — kernbench kernel-space time (ms, fixed job count)", cells), nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		v, _ := t.Cell("-j20", string(CfgPICRet))
+		return map[string]float64{"j20-picret-kernel-ms": v}
+	},
 }

@@ -36,16 +36,29 @@ type NVMeRow struct {
 	RerandPct float64 // randomizer thread share of all cores
 }
 
+// Default seeds of the Fig. 6–9 experiments (the "seed" param defaults
+// in their registry descriptors).
+const (
+	seedFig6 int64 = 601
+	seedFig7 int64 = 701
+	seedFig8 int64 = 801
+	seedFig9 int64 = 901
+)
+
 // NVMeDirectRead reproduces the §5.2 NVMe experiment: the same 512-byte
 // block is read through the driver in a tight loop with O_DIRECT/O_SYNC
 // semantics, hitting the controller's DRAM cache to minimize I/O wait.
 // vanilla=true runs the non-rerandomizable (plain Linux) driver build.
 func NVMeDirectRead(period RerandPeriod, vanilla bool, ops int) (NVMeRow, error) {
+	return nvmeDirectRead(seedFig6, period, vanilla, ops)
+}
+
+func nvmeDirectRead(seed int64, period RerandPeriod, vanilla bool, ops int) (NVMeRow, error) {
 	cfg := CfgRerandStack
 	if vanilla {
 		cfg = CfgVanillaRet
 	}
-	m, err := newMachine(cfg, 601, "nvme")
+	m, err := newMachine(cfg, seed, "nvme")
 	if err != nil {
 		return NVMeRow{}, err
 	}
@@ -98,20 +111,58 @@ func pct(cycles uint64, elapsedSec float64) float64 {
 
 // NVMeSweep runs the Fig. 6 configurations.
 func NVMeSweep(ops int) ([]NVMeRow, error) {
+	return nvmeSweep(seedFig6, ops)
+}
+
+func nvmeSweep(seed int64, ops int) ([]NVMeRow, error) {
 	var rows []NVMeRow
-	r, err := NVMeDirectRead(PeriodOff, true, ops)
+	r, err := nvmeDirectRead(seed, PeriodOff, true, ops)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r)
 	for _, p := range []RerandPeriod{PeriodNone, Period5ms, Period1ms} {
-		r, err := NVMeDirectRead(p, false, ops)
+		r, err := nvmeDirectRead(seed, p, false, ops)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+var expFig6 = &Experiment{
+	Name:   "fig6",
+	Figure: "Fig. 6",
+	Doc:    "NVMe O_DIRECT 512B read throughput under re-randomization",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "direct reads per configuration", Default: 2400, Quick: 300},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig6},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := nvmeSweep(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "Fig. 6 — NVMe O_DIRECT 512B read under re-randomization",
+			Columns: []Column{
+				Col("config", "%-10s", "%-10s"),
+				Col("MB/s", "%10.1f", "%10s"),
+				Col("IOPS", "%12.0f", "%12s"),
+				Col("CPU%", "%8.2f", "%8s"),
+				Col("rerand%", "%10.4f", "%10s"),
+			},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Period, r.MBps, r.IOPS, r.CPUPct, r.RerandPct)
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		last := t.Rows[len(t.Rows)-1] // 1 ms period
+		return map[string]float64{"1ms-MBps": last[1].(float64), "1ms-cpu-pct": last[3].(float64)}
+	},
 }
 
 // ---------------------------------------------------------------------------
@@ -138,11 +189,15 @@ var OLTPConcurrency = []int{25, 50, 75, 100}
 // (§5.2): ten queries of server-side work, a partially-cached working set
 // hitting NVMe on misses, and the result set returned over the NIC.
 func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, error) {
+	return oltp(seedFig7, period, vanilla, concurrency, txs)
+}
+
+func oltp(seed int64, period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, error) {
 	cfg := CfgRerandStack
 	if vanilla {
 		cfg = CfgVanillaRet
 	}
-	m, err := newMachine(cfg, 701, "e1000e", "nvme")
+	m, err := newMachine(cfg, seed, "e1000e", "nvme")
 	if err != nil {
 		return OLTPRow{}, err
 	}
@@ -227,13 +282,20 @@ func OLTP(period RerandPeriod, vanilla bool, concurrency, txs int) (OLTPRow, err
 
 // OLTPSweep runs the Fig. 7 grid.
 func OLTPSweep(txs int) ([]OLTPRow, error) {
+	return oltpSweep(seedFig7, txs, OLTPConcurrency[len(OLTPConcurrency)-1])
+}
+
+func oltpSweep(seed int64, txs, maxConc int) ([]OLTPRow, error) {
 	var rows []OLTPRow
 	for _, p := range []struct {
 		RerandPeriod
 		vanilla bool
 	}{{PeriodOff, true}, {Period5ms, false}, {Period1ms, false}} {
 		for _, conc := range OLTPConcurrency {
-			r, err := OLTP(p.RerandPeriod, p.vanilla, conc, txs)
+			if conc > maxConc {
+				continue
+			}
+			r, err := oltp(seed, p.RerandPeriod, p.vanilla, conc, txs)
 			if err != nil {
 				return nil, err
 			}
@@ -241,6 +303,41 @@ func OLTPSweep(txs int) ([]OLTPRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+var expFig7 = &Experiment{
+	Name:   "fig7",
+	Figure: "Fig. 7",
+	Doc:    "mySQL OLTP transactions/s with E1000E+NVMe re-randomized",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "transactions per configuration point", Default: 400, Quick: 50},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig7},
+		{Name: "conc", Doc: "cap on the client-concurrency sweep", Default: 100},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := oltpSweep(p.Int64("seed"), p.Int("ops"), p.Int("conc"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "Fig. 7 — mySQL OLTP (E1000E+NVMe re-randomized)",
+			Columns: []Column{
+				Col("config", "%-10s", "%-10s"),
+				Col("conc", "%6d", "%6s"),
+				Col("tx/s", "%10.0f", "%10s"),
+				Col("CPU%", "%8.2f", "%8s"),
+				Col("drops", "%8d", "%8s"),
+			},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Period, r.Concurrency, r.TPS, r.CPUPct, r.NICDropped)
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		last := t.Rows[len(t.Rows)-1] // 1 ms at the highest concurrency
+		return map[string]float64{"1ms-tps": last[2].(float64), "1ms-cpu-pct": last[3].(float64)}
+	},
 }
 
 // ---------------------------------------------------------------------------
@@ -266,11 +363,15 @@ var (
 // lands on E1000E with occasional NVMe accesses; FUSE, ext4 and xHCI ride
 // along as extra re-randomization load, exactly as in §5.2.
 func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int) (ApacheRow, error) {
+	return apache(seedFig8, period, vanilla, blockBytes, concurrency, reqs)
+}
+
+func apache(seed int64, period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int) (ApacheRow, error) {
 	cfg := CfgRerandStack
 	if vanilla {
 		cfg = CfgVanillaRet
 	}
-	m, err := newMachine(cfg, 801, "e1000e", "nvme", "fuse", "ext4", "xhci")
+	m, err := newMachine(cfg, seed, "e1000e", "nvme", "fuse", "ext4", "xhci")
 	if err != nil {
 		return ApacheRow{}, err
 	}
@@ -365,14 +466,25 @@ func Apache(period RerandPeriod, vanilla bool, blockBytes, concurrency, reqs int
 
 // ApacheSweep runs the Fig. 8 grid.
 func ApacheSweep(reqs int) ([]ApacheRow, error) {
+	return apacheSweep(seedFig8, reqs,
+		ApacheBlockSizes[len(ApacheBlockSizes)-1], ApacheConcurrency[len(ApacheConcurrency)-1])
+}
+
+func apacheSweep(seed int64, reqs, maxBlock, maxConc int) ([]ApacheRow, error) {
 	var rows []ApacheRow
 	for _, p := range []struct {
 		RerandPeriod
 		vanilla bool
 	}{{PeriodOff, true}, {Period20ms, false}, {Period5ms, false}, {Period1ms, false}} {
 		for _, bs := range ApacheBlockSizes {
+			if bs > maxBlock {
+				continue
+			}
 			for _, conc := range ApacheConcurrency {
-				r, err := Apache(p.RerandPeriod, p.vanilla, bs, conc, reqs)
+				if conc > maxConc {
+					continue
+				}
+				r, err := apache(seed, p.RerandPeriod, p.vanilla, bs, conc, reqs)
 				if err != nil {
 					return nil, err
 				}
@@ -381,6 +493,43 @@ func ApacheSweep(reqs int) ([]ApacheRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+var expFig8 = &Experiment{
+	Name:   "fig8",
+	Figure: "Fig. 8",
+	Doc:    "ApacheBench static file serving, five modules re-randomized",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "requests per configuration point", Default: 240, Quick: 30},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig8},
+		{Name: "block", Doc: "cap on the served-file block-size sweep (bytes)", Default: 8192},
+		{Name: "conc", Doc: "cap on the client-concurrency sweep", Default: 100},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := apacheSweep(p.Int64("seed"), p.Int("ops"), p.Int("block"), p.Int("conc"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "Fig. 8 — ApacheBench (5 modules re-randomized)",
+			Columns: []Column{
+				Col("config", "%-10s", "%-10s"),
+				Col("block", "%7d", "%7s"),
+				Col("conc", "%6d", "%6s"),
+				Col("MB/s", "%10.1f", "%10s"),
+				Col("CPU%", "%8.2f", "%8s"),
+				Col("drops", "%8d", "%8s"),
+			},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Period, r.BlockBytes, r.Concurrency, r.MBps, r.CPUPct, r.NICDropped)
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		last := t.Rows[len(t.Rows)-1] // tightest period, biggest block, highest conc
+		return map[string]float64{"1ms-MBps": last[3].(float64), "1ms-cpu-pct": last[4].(float64)}
+	},
 }
 
 // ---------------------------------------------------------------------------
@@ -408,7 +557,11 @@ var IoctlVariants = []struct {
 
 // Ioctl measures the dummy driver's null-ioctl rate.
 func Ioctl(name string, cfg Config, ops int) (IoctlRow, error) {
-	m, err := newMachine(cfg, 901, "dummy")
+	return ioctl(seedFig9, name, cfg, ops)
+}
+
+func ioctl(seed int64, name string, cfg Config, ops int) (IoctlRow, error) {
+	m, err := newMachine(cfg, seed, "dummy")
 	if err != nil {
 		return IoctlRow{}, err
 	}
@@ -437,13 +590,54 @@ func Ioctl(name string, cfg Config, ops int) (IoctlRow, error) {
 
 // IoctlSweep runs the Fig. 9 variants.
 func IoctlSweep(ops int) ([]IoctlRow, error) {
+	return ioctlSweep(seedFig9, ops)
+}
+
+func ioctlSweep(seed int64, ops int) ([]IoctlRow, error) {
 	var rows []IoctlRow
 	for _, v := range IoctlVariants {
-		r, err := Ioctl(v.Name, v.Cfg, ops)
+		r, err := ioctl(seed, v.Name, v.Cfg, ops)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+var expFig9 = &Experiment{
+	Name:   "fig9",
+	Figure: "Fig. 9",
+	Doc:    "IOCTL null-op throughput per mechanism variant (CPU-bound worst case)",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "ioctl calls per variant", Default: 24000, Quick: 3000},
+		{Name: "seed", Doc: "machine boot seed", Default: seedFig9},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := ioctlSweep(p.Int64("seed"), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "Fig. 9 — IOCTL null-op throughput (CPU-bound worst case)",
+			Columns: []Column{
+				Col("variant", "%-16s", "%-16s"),
+				Col("Mops/s", "%10.3f", "%10s"),
+				Col("CPU%", "%8.2f", "%8s"),
+				{Name: "vs linux", Head: "vs linux", Fmt: "%9.1f%%", HeadFmt: "%10s"},
+			},
+		}
+		base := rows[0].MopsPerSec
+		for _, r := range rows {
+			t.AddRow(r.Variant, r.MopsPerSec, r.CPUPct, (r.MopsPerSec/base-1)*100)
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		out := map[string]float64{}
+		for _, r := range t.Rows {
+			out[r[0].(string)+"-Mops"] = r[1].(float64)
+		}
+		return out
+	},
 }

@@ -35,11 +35,19 @@ type CoalesceRow struct {
 	Responses   uint64  // round-trip frames the load generator got back
 }
 
+// seedCoalesce is the coalescing experiment's default machine seed (the
+// registry descriptor's "seed" param).
+const seedCoalesce int64 = 1003
+
 // nicCoalesceRun executes one coalescing configuration and returns the
 // row plus the raw RunResult and machine (for determinism audits).
 func nicCoalesceRun(maxFrames int, delayUs float64, ops int) (CoalesceRow, sim.RunResult, *sim.Machine, error) {
+	return nicCoalesceSeeded(seedCoalesce, maxFrames, delayUs, ops)
+}
+
+func nicCoalesceSeeded(seed int64, maxFrames int, delayUs float64, ops int) (CoalesceRow, sim.RunResult, *sim.Machine, error) {
 	row := CoalesceRow{MaxFrames: maxFrames, DelayUs: delayUs}
-	m, err := newMachine(CfgPICRet, 1003, "e1000e")
+	m, err := newMachine(CfgPICRet, seed, "e1000e")
 	if err != nil {
 		return row, sim.RunResult{}, nil, err
 	}
@@ -141,13 +149,61 @@ var CoalesceMaxFrames = []int{1, 4, 16}
 // NICCoalesceSweep sweeps the frame-count threshold at a fixed 100 µs
 // delay cap, producing the RX-latency/IRQ-rate/drop trade-off curves.
 func NICCoalesceSweep(ops int) ([]CoalesceRow, error) {
+	return nicCoalesceSweep(seedCoalesce, 100, ops)
+}
+
+func nicCoalesceSweep(seed int64, delayUs float64, ops int) ([]CoalesceRow, error) {
 	var rows []CoalesceRow
 	for _, mf := range CoalesceMaxFrames {
-		r, err := NICCoalesce(mf, 100, ops)
+		r, _, _, err := nicCoalesceSeeded(seed, mf, delayUs, ops)
 		if err != nil {
 			return nil, fmt.Errorf("workload: coalesce maxframes=%d: %w", mf, err)
 		}
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+var expCoalesce = &Experiment{
+	Name:   "coalesce",
+	Figure: "NIC sweep",
+	Doc:    "NIC interrupt coalescing: RX latency / IRQ rate / drops vs max-frames",
+	ParamSpecs: []ParamSpec{
+		{Name: "ops", Doc: "server ops per coalescing configuration", Default: 960, Quick: 120},
+		{Name: "seed", Doc: "machine boot seed", Default: seedCoalesce},
+		{Name: "delay", Doc: "coalescing delay cap (µs)", Default: 100},
+	},
+	Run: func(p Params) (*Table, error) {
+		rows, err := nicCoalesceSweep(p.Int64("seed"), float64(p.Int("delay")), p.Int("ops"))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: "NIC interrupt coalescing — RX latency / IRQ rate / drops vs max-frames",
+			Columns: []Column{
+				Col("maxframes", "%-10d", "%-10s"),
+				Col("delay_us", "%9.0f", "%9s"),
+				Col("rx", "%8d", "%8s"),
+				Col("drained", "%8d", "%8s"),
+				Col("dropped", "%8d", "%8s"),
+				Col("irqs", "%8d", "%8s"),
+				Col("raised", "%12d", "%12s"),
+				Col("rxlat_us", "%10.2f", "%10s"),
+			},
+		}
+		for _, r := range rows {
+			t.AddRow(r.MaxFrames, r.DelayUs, r.RxFrames, r.DrainedRx, r.Dropped,
+				r.IRQs, r.IRQsRaised, r.AvgIRQLatUs)
+		}
+		return t, nil
+	},
+	Headline: func(t *Table) map[string]float64 {
+		out := map[string]float64{}
+		for _, r := range t.Rows {
+			mf := r[0].(int)
+			out[fmt.Sprintf("mf%d-irqs", mf)] = float64(r[5].(uint64))
+			out[fmt.Sprintf("mf%d-rxlat-us", mf)] = r[7].(float64)
+		}
+		return out
+	},
 }

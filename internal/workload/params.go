@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParamSpec declares one tunable of an experiment: its name, what it
+// means, the default that reproduces the paper's figure bit-identically,
+// and (for size knobs) the reduced value a -quick smoke pass substitutes.
+type ParamSpec struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+	// Default is the full-scale value. Defaults are the contract: running
+	// an experiment with its defaults must reproduce the recorded figure
+	// exactly, so lifting a hardcoded constant (an op count, a seed) into
+	// a ParamSpec must carry the constant here unchanged.
+	Default int64 `json:"default"`
+	// Quick, when nonzero, replaces Default under -quick. Seeds and other
+	// value-like params leave it zero; only work-size knobs shrink.
+	Quick int64 `json:"quick,omitempty"`
+}
+
+// Params is a resolved set of parameter values for one experiment run.
+// Construct it with Experiment.Params (defaults, optionally quick-scaled)
+// and adjust with Set; Run reads values through Int/Int64.
+type Params struct {
+	exp  *Experiment
+	vals map[string]int64
+}
+
+// Set overrides one parameter by name, as benchtool's -p key=val does.
+// Unknown names are an error that lists what the experiment accepts.
+func (p Params) Set(name string, v int64) error {
+	if _, ok := p.vals[name]; !ok {
+		return fmt.Errorf("experiment %q has no parameter %q (has: %s)",
+			p.exp.Name, name, strings.Join(p.exp.paramNames(), ", "))
+	}
+	p.vals[name] = v
+	return nil
+}
+
+// SetString parses a -p key=val pair.
+func (p Params) SetString(name, val string) error {
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %q: %q is not an integer", name, val)
+	}
+	return p.Set(name, v)
+}
+
+// Int returns a parameter as int; asking for an undeclared parameter is a
+// programming error in the experiment and panics.
+func (p Params) Int(name string) int { return int(p.Int64(name)) }
+
+// Int64 returns a parameter's value.
+func (p Params) Int64(name string) int64 {
+	v, ok := p.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: experiment %q read undeclared parameter %q", p.exp.Name, name))
+	}
+	return v
+}
+
+// Map returns the resolved values keyed by name (for JSON records).
+func (p Params) Map() map[string]int64 {
+	out := make(map[string]int64, len(p.vals))
+	for k, v := range p.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the values in declaration order, for list output and
+// error messages.
+func (p Params) String() string {
+	var b strings.Builder
+	for i, s := range p.exp.ParamSpecs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", s.Name, p.vals[s.Name])
+	}
+	return b.String()
+}
+
+func (e *Experiment) paramNames() []string {
+	names := make([]string, len(e.ParamSpecs))
+	for i, s := range e.ParamSpecs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table is the generic result every experiment produces: a column schema,
+// typed rows, and enough rendering hints that cmd/benchtool (or any other
+// front end) can print the exact table the paper's figure is drawn from,
+// or marshal it as structured JSON. An experiment that prints several
+// sections (the ablations) returns one Table with Children.
+type Table struct {
+	// Title is the figure header ("Fig. 5b — dd cached-read microbenchmark
+	// (MB/s)"); renderers frame it as a section heading.
+	Title string `json:"title"`
+
+	// Columns describe the cells of every row, in order.
+	Columns []Column `json:"columns,omitempty"`
+
+	// Rows hold one cell per column. Cells are typed (string, int,
+	// uint64, float64) so JSON consumers get real values; rendering
+	// applies each column's format verb.
+	Rows [][]any `json:"rows,omitempty"`
+
+	// Notes are free-form lines printed after the body (derived summary
+	// figures, paper cross-references).
+	Notes []string `json:"notes,omitempty"`
+
+	// Text, when set, replaces the columnar body in terminal rendering —
+	// used by experiments whose historical output is free-form prose
+	// (the security analysis). Columns/Rows still carry the structured
+	// values for JSON.
+	Text []string `json:"-"`
+
+	// Children are additional sections rendered after this table
+	// (ablation B and C ride behind A).
+	Children []*Table `json:"sections,omitempty"`
+}
+
+// Column is one column of a Table.
+type Column struct {
+	// Name is the machine-readable identifier used in JSON.
+	Name string `json:"name"`
+	// Head is the header label as printed (may be empty or prettier than
+	// Name, e.g. "CPU% (1 core)").
+	Head string `json:"head"`
+	// Fmt is the printf verb applied to each cell ("%10.1f", "%-12s").
+	// Fixed widths are what keeps rendered output bit-identical across
+	// runs and PRs.
+	Fmt string `json:"-"`
+	// HeadFmt is the printf verb for the header cell ("%10s"); columns
+	// print numbers but head strings, so the verbs differ.
+	HeadFmt string `json:"-"`
+}
+
+// Col builds a Column whose Name doubles as the header label.
+func Col(name, fmtVerb, headVerb string) Column {
+	return Column{Name: name, Head: name, Fmt: fmtVerb, HeadFmt: headVerb}
+}
+
+// AddRow appends one row; the cell count must match the schema.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("workload: table %q: row has %d cells, schema has %d columns",
+			t.Title, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Notef appends a formatted note line.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table (and its children) to w exactly as benchtool
+// prints it: a framed title, a header row, formatted cells separated by
+// single spaces, then the notes.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	t.fprintBody(w)
+	for _, c := range t.Children {
+		c.Fprint(w)
+	}
+}
+
+func (t *Table) fprintBody(w io.Writer) {
+	switch {
+	case len(t.Text) > 0:
+		for _, line := range t.Text {
+			fmt.Fprintln(w, line)
+		}
+	case len(t.Columns) > 0:
+		for i, c := range t.Columns {
+			if i > 0 {
+				io.WriteString(w, " ")
+			}
+			fmt.Fprintf(w, c.HeadFmt, c.Head)
+		}
+		fmt.Fprintln(w)
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i > 0 {
+					io.WriteString(w, " ")
+				}
+				fmt.Fprintf(w, t.Columns[i].Fmt, cell)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// Cell returns the float value at (row label, column name), for tables
+// whose first column labels the row — the matrix figures. The bool
+// reports whether both coordinates exist.
+func (t *Table) Cell(rowLabel, colName string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if i > 0 && c.Name == colName {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range t.Rows {
+		if lab, ok := row[0].(string); ok && lab == rowLabel {
+			if v, ok := row[ci].(float64); ok {
+				return v, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// matrixCell is one (row label, column label, value) point of a matrix
+// figure (the Fig. 5 grids: block size × configuration, etc.).
+type matrixCell struct {
+	row, col string
+	val      float64
+}
+
+// matrixTable pivots (row, col, value) cells into a Table, with row and
+// column order of first appearance — the rendering benchtool's historical
+// printMatrix produced. The leading label column is unnamed and
+// left-aligned; value columns are fixed-width floats.
+func matrixTable(title string, cells []matrixCell) *Table {
+	t := &Table{Title: title}
+	t.Columns = append(t.Columns, Column{Name: "row", Head: "", Fmt: "%-10s", HeadFmt: "%-10s"})
+	colIdx := map[string]int{}
+	var rowOrder []string
+	vals := map[string]map[string]float64{}
+	for _, c := range cells {
+		if _, ok := colIdx[c.col]; !ok {
+			colIdx[c.col] = len(t.Columns)
+			t.Columns = append(t.Columns, Col(c.col, "%12.1f", "%12s"))
+		}
+		if vals[c.row] == nil {
+			vals[c.row] = map[string]float64{}
+			rowOrder = append(rowOrder, c.row)
+		}
+		vals[c.row][c.col] = c.val
+	}
+	for _, r := range rowOrder {
+		row := make([]any, len(t.Columns))
+		row[0] = r
+		for i := 1; i < len(row); i++ {
+			row[i] = float64(0)
+		}
+		for col, i := range colIdx {
+			row[i] = vals[r][col]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
