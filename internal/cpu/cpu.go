@@ -95,14 +95,33 @@ type CPU struct {
 	lastBlockFrame mm.FrameID
 	lastPB         *pageBlocks
 
+	// blockGen is the native-table epoch of every cached superblock.
+	// invalidateBlocks bumps it, so chain links — which hold direct
+	// superblock pointers that bypass the blocks map — can never follow
+	// into a block built under stale native boundaries (see superblock.go).
+	blockGen uint64
+
+	// chainOn enables superblock trace linking on this vCPU. It is
+	// latched from the package-wide default (SetChaining, ADELIE_NOCHAIN)
+	// at New so a toggle mid-measurement cannot desynchronize lanes.
+	chainOn bool
+
 	// Blocks counts basic blocks retired via block execution. The engine
 	// samples it per round slot the same way it samples Cycles.
 	Blocks uint64
 
+	// ChainedBlocks counts the subset of Blocks entered by following a
+	// chain link — block→block transfers that never returned to the
+	// dispatch loop. The engine samples it alongside Blocks.
+	ChainedBlocks uint64
+
 	// decodeHits/decodeMisses count per-instruction cache consultations;
-	// blockHits/blockMisses count superblock consultations (metrics only).
+	// blockHits/blockMisses count superblock consultations;
+	// chainMisses counts linkable block exits that had to fall back to
+	// the dispatch path (ChainedBlocks is the hit count). Metrics only.
 	decodeHits, decodeMisses uint64
 	blockHits, blockMisses   uint64
+	chainMisses              uint64
 }
 
 // decodeChunkBytes is the granularity at which decode storage is
@@ -163,6 +182,7 @@ func New(id int, as *mm.AddressSpace) *CPU {
 		decoded:        make(map[mm.FrameID]*pageDecode),
 		blocks:         make(map[mm.FrameID]*pageBlocks),
 		lastBlockFrame: mm.NoFrame,
+		chainOn:        chainingEnabled.Load(),
 	}
 }
 
@@ -174,6 +194,13 @@ func (c *CPU) DecodeCacheStats() (hits, misses uint64) {
 // BlockCacheStats returns the superblock cache hit/miss counts.
 func (c *CPU) BlockCacheStats() (hits, misses uint64) {
 	return c.blockHits, c.blockMisses
+}
+
+// ChainStats returns the trace-linking counters: hits is the number of
+// blocks entered by following a chain link (== ChainedBlocks), misses
+// the number of linkable block exits that dispatched instead.
+func (c *CPU) ChainStats() (hits, misses uint64) {
+	return c.ChainedBlocks, c.chainMisses
 }
 
 // RegisterNative installs a native kernel function at va. The page
@@ -587,10 +614,11 @@ func (c *CPU) cond(op isa.Op) bool {
 const DefaultMaxInsts = 50_000_000
 
 // Run executes instructions until halt, fault, or the instruction budget
-// is exhausted. The hot path retires whole basic blocks per iteration
-// (see superblock.go); the budget is checked at block granularity, which
-// only affects how far past the limit a runaway module gets before the
-// fault fires.
+// is exhausted. The hot path retires whole basic blocks — chained
+// block→block along hot traces (see superblock.go) — per iteration; the
+// budget is checked at chain granularity (at most maxChainBlocks blocks),
+// which only affects how far past the limit a runaway module gets before
+// the fault fires.
 func (c *CPU) Run(maxInsts uint64) error {
 	start := c.Insts
 	for {

@@ -12,30 +12,98 @@ package cpu
 // zero-copy re-randomization remap (same frames, new addresses) keeps
 // blocks warm.
 //
-// stepBlock then executes the cached block in a tight loop: one TLB
-// lookup and one exec-permission check per block instead of per
-// instruction, no per-instruction fetch, no native-table probe between
-// straight-line instructions (control can only land on a kernel entry
-// point via a branch, which terminates a block). Cycle and instruction
-// accounting is accumulated per block and lands in the same CPU counters
-// the engine's closed-queueing model replays. For working sets within
-// TLB capacity the charged cycles are bit-identical to per-instruction
-// execution (intra-block instruction fetches were hits by construction);
-// under capacity pressure the code page's FIFO insertion point can
-// differ from the step path's, so cross-mode equality is not guaranteed
-// there — run-to-run determinism always is.
+// runChain then executes cached blocks in a tight loop: one TLB lookup
+// and one exec-permission check per block instead of per instruction, no
+// per-instruction fetch, no native-table probe between straight-line
+// instructions (control can only land on a kernel entry point via a
+// branch, which terminates a block). Cycle and instruction accounting is
+// accumulated per block and lands in the same CPU counters the engine's
+// closed-queueing model replays.
+//
+// Trace linking. A block whose final instruction is a *direct* branch
+// (CALL/JMP/Jcc) — or that was cut at a page boundary and falls through —
+// records the successor superblock on its exit the first time that exit
+// resolves: same-page targets and cross-page targets alike, the latter
+// via the second frame's mm.Entry obtained on the dispatch path. On
+// later executions the exit follows the link block→block without
+// returning to the dispatch loop, guarded by
+//
+//   - the successor frame's content version (mm.FrameRef): a write to
+//     the successor's bytes through any mapping — including an alias of
+//     the *successor* frame the predecessor never touched — kills the
+//     link before stale code runs;
+//   - the address-space generation: any unmap/protect since the link was
+//     recorded sends the exit back through the dispatch path, so a
+//     branch to a re-randomized-away region faults exactly as
+//     per-block dispatch would (stale module addresses must fault);
+//   - the vCPU's native-table generation (blockGen): links hold direct
+//     superblock pointers that bypass the blocks map, so the map clear
+//     in invalidateBlocks alone cannot retire them — the generation
+//     does, covering natives registered after the link was recorded.
+//
+// Indirect exits (RET, CALLR/JMPR, GOT-indirect CALLM/JMPM) never link:
+// their targets come from registers, the stack or a re-randomizer-
+// patched GOT, so they always take the dispatch path. Chains are bounded
+// (maxChainBlocks) so the Run loop's instruction budget keeps firing and
+// a stepBlock call can never outrun the engine's barrier-synchronized
+// clock boundary: IRQ delivery and re-randomization stay where per-block
+// dispatch put them.
+//
+// Accounting equivalence. A followed link skips the successor's TLB
+// lookup. For working sets within TLB capacity that lookup was a hit by
+// construction (the translation entered the TLB when the link was
+// recorded and nothing evicted it), so charged cycles — and therefore
+// every figure — are bit-identical to unchained execution; CI's
+// cross-mode gate (ADELIE_NOCHAIN=1) enforces this. Under capacity
+// pressure the skipped lookup can elide a refill the unchained path
+// would charge, the same documented exception block execution already
+// has against single-stepping — run-to-run determinism always holds.
 //
 // Memory-model note: like hardware that requires an instruction-sync
 // barrier after self-modifying stores, a store issued from inside a
 // block to the block's own not-yet-executed bytes takes effect at the
 // next block fetch, not within the current block. Cross-block (and
 // cross-op) modification is always observed, because every block entry
-// re-validates the frame content version.
+// re-validates the frame content version — a followed link re-validates
+// the successor frame the same way.
 
 import (
+	"os"
+	"sync/atomic"
+
 	"adelie/internal/isa"
 	"adelie/internal/mm"
 )
+
+// chainingEnabled is the package-wide default latched by New into each
+// vCPU. Trace linking is on unless ADELIE_NOCHAIN is set in the
+// environment (the CI cross-mode equivalence gate) or SetChaining(false)
+// was called (the test hook).
+var chainingEnabled atomic.Bool
+
+func init() {
+	chainingEnabled.Store(os.Getenv("ADELIE_NOCHAIN") == "")
+}
+
+// SetChaining sets the package-wide trace-linking default for
+// subsequently created CPUs and reports the previous value. Existing
+// vCPUs keep the mode they were created with, so a machine never runs
+// with mixed lanes.
+func SetChaining(on bool) (was bool) {
+	return chainingEnabled.Swap(on)
+}
+
+// ChainingEnabled reports the current package-wide default.
+func ChainingEnabled() bool { return chainingEnabled.Load() }
+
+// chainLink records one resolved successor of a superblock exit.
+type chainLink struct {
+	va  uint64      // branch-target VA this link covers
+	ver uint64      // successor frame content version when recorded
+	gen uint64      // address-space generation when recorded
+	ref mm.FrameRef // successor frame version handle
+	sb  *superblock // successor block
+}
 
 // superblock is one decoded basic block. Only the final instruction can
 // redirect control (branch/HLT) — or the block was cut at a page
@@ -43,6 +111,19 @@ import (
 // execution falls through to the next block fetch.
 type superblock struct {
 	insts []isa.Inst
+
+	// gen is the vCPU's blockGen when the block was built; chain links
+	// refuse to enter a block from an older native-table epoch.
+	gen uint64
+
+	// linkable marks exits eligible for trace linking: a direct branch
+	// (CALL/JMP/Jcc) or a fall-through cut. Indirect exits and HLT/RET
+	// always dispatch.
+	linkable bool
+
+	// links caches up to two resolved successors — a conditional exit
+	// has exactly two targets (taken and fall-through).
+	links [2]chainLink
 }
 
 // blockChunkBytes is the granularity at which superblock pointer storage
@@ -87,6 +168,11 @@ func (p *pageBlocks) set(off int, sb *superblock) {
 // whole cache is dropped (simple and deterministic).
 const maxBlockPages = maxDecodedPages
 
+// maxChainBlocks bounds how many linked blocks one stepBlock call may
+// retire before returning to the dispatch loop, keeping the Run loop's
+// instruction-budget check live on runaway linked loops.
+const maxChainBlocks = 64
+
 // noBlock negatively caches entry PCs that cannot start a block (the
 // entry instruction straddles the page or does not decode), so repeated
 // execution there skips straight to the single-step fallback instead of
@@ -95,16 +181,19 @@ const maxBlockPages = maxDecodedPages
 var noBlock = &superblock{}
 
 // invalidateBlocks drops every cached superblock (native-table changes
-// move block boundaries without touching frame contents).
+// move block boundaries without touching frame contents). Bumping
+// blockGen retires chain links too: they hold direct superblock
+// pointers the map clear cannot reach.
 func (c *CPU) invalidateBlocks() {
 	clear(c.blocks)
 	c.lastBlockFrame, c.lastPB = mm.NoFrame, nil
+	c.blockGen++
 }
 
-// stepBlock executes one whole basic block, falling back to a single
-// Step when block execution cannot be used (entry instruction straddles
-// the page boundary or fails to decode). Same contract as Step:
-// (halted, error).
+// stepBlock executes one whole basic block — and, via trace linking, any
+// hot straight-line successors — falling back to a single Step when
+// block execution cannot be used (entry instruction straddles the page
+// boundary or fails to decode). Same contract as Step: (halted, error).
 func (c *CPU) stepBlock() (bool, error) {
 	rip := c.RIP
 	if rip == HostReturn {
@@ -115,38 +204,105 @@ func (c *CPU) stepBlock() (bool, error) {
 			return c.runNative(n)
 		}
 	}
-	sb, err := c.fetchBlock()
+	sb, _, err := c.fetchBlock()
 	if err != nil {
 		return false, c.fault("fetch", err)
 	}
 	if sb == nil {
 		return c.Step()
 	}
-	var (
-		n      uint64
-		halted bool
-	)
-	insts := sb.insts
-	for i := range insts {
-		n++
-		if halted, err = c.exec(&insts[i]); halted || err != nil {
-			break
-		}
-	}
-	c.Insts += n
-	c.Cycles += n * CostInst
-	c.Blocks++
-	return halted, err
+	return c.runChain(sb)
 }
 
-// fetchBlock returns the superblock entered at c.RIP, building and
-// caching it on a miss. A nil block (with nil error) means the entry
-// cannot start a block — the caller single-steps it instead.
-func (c *CPU) fetchBlock() (*superblock, error) {
+// runChain executes sb and then follows chain links block→block until an
+// exit dispatches (indirect branch, native entry, invalidated or missing
+// link) or the chain bound is reached. Per-block accounting is identical
+// to per-block dispatch.
+func (c *CPU) runChain(sb *superblock) (bool, error) {
+	for depth := 0; ; depth++ {
+		var (
+			n      uint64
+			halted bool
+			err    error
+		)
+		insts := sb.insts
+		for i := range insts {
+			n++
+			if halted, err = c.exec(&insts[i]); halted || err != nil {
+				break
+			}
+		}
+		c.Insts += n
+		c.Cycles += n * CostInst
+		c.Blocks++
+		if halted || err != nil {
+			return halted, err
+		}
+		if !c.chainOn || !sb.linkable || depth >= maxChainBlocks {
+			return false, nil
+		}
+		rip := c.RIP
+		li := -1
+		for i := range sb.links {
+			if sb.links[i].va == rip && sb.links[i].sb != nil {
+				li = i
+				break
+			}
+		}
+		if li >= 0 {
+			l := &sb.links[li]
+			if l.sb.gen == c.blockGen && l.gen == c.AS.Generation() && l.ref.Version() == l.ver {
+				c.ChainedBlocks++
+				sb = l.sb
+				continue
+			}
+		}
+		// No valid link. Resolve the successor through the dispatch path
+		// — identical accounting to returning to the Run loop — and
+		// record the link for next time.
+		c.chainMisses++
+		if rip == HostReturn {
+			return true, nil
+		}
+		if rip >= c.nativeLo && rip < c.nativeHi {
+			if _, native := c.natives[rip]; native {
+				return false, nil // kernel entry point: the dispatch loop runs it
+			}
+		}
+		gen := c.AS.Generation()
+		nsb, e, ferr := c.fetchBlock()
+		if ferr != nil {
+			return false, c.fault("fetch", ferr)
+		}
+		if nsb == nil {
+			return c.Step() // unbuildable entry: single-step fallback
+		}
+		slot := li // stale link for this va: refresh in place
+		if slot < 0 {
+			for i := range sb.links {
+				if sb.links[i].sb == nil {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				slot = 1 // both slots live with other targets: evict the newer
+			}
+		}
+		sb.links[slot] = chainLink{va: rip, ver: e.Version(), gen: gen, ref: e.Ref(), sb: nsb}
+		sb = nsb
+	}
+}
+
+// fetchBlock returns the superblock entered at c.RIP and its translation,
+// building and caching the block on a miss. A nil block (with nil error)
+// means the entry cannot start a block — the caller single-steps it
+// instead.
+func (c *CPU) fetchBlock() (*superblock, mm.Entry, error) {
 	rip := c.RIP
 	e, hit, err := c.TLB.Entry(rip, mm.AccessExec)
 	if err != nil {
-		return nil, err
+		return nil, e, err
 	}
 	if !hit {
 		c.Cycles += CostTLBMiss
@@ -163,13 +319,17 @@ func (c *CPU) fetchBlock() (*superblock, error) {
 		if sb := pb.get(off); sb != nil {
 			c.blockHits++
 			if sb == noBlock {
-				return nil, nil
+				return nil, e, nil
 			}
-			return sb, nil
+			return sb, e, nil
 		}
 	} else {
 		if len(c.blocks) >= maxBlockPages {
-			clear(c.blocks)
+			// Full invalidation, not just a map clear: chain links hold
+			// direct superblock pointers, so only the generation bump
+			// actually retires the old block graph and keeps the
+			// footprint bound meaningful.
+			c.invalidateBlocks()
 		}
 		pb = &pageBlocks{ver: ver}
 		c.blocks[e.Frame] = pb
@@ -178,7 +338,7 @@ func (c *CPU) fetchBlock() (*superblock, error) {
 	c.blockMisses++
 
 	window := e.CodeWindow(off)
-	sb := &superblock{}
+	sb := &superblock{gen: c.blockGen}
 	o := 0
 	for {
 		in, derr := isa.Decode(window[o:])
@@ -205,8 +365,14 @@ func (c *CPU) fetchBlock() (*superblock, error) {
 	}
 	if len(sb.insts) == 0 {
 		pb.set(off, noBlock) // entry straddles the page or is undecodable
-		return nil, nil
+		return nil, e, nil
+	}
+	switch last := sb.insts[len(sb.insts)-1].Op; {
+	case last == isa.OpHLT, last == isa.OpRET, last.IsIndirectBranch():
+		// Halt or indirect exit: the target is dynamic — never link.
+	default:
+		sb.linkable = true // direct branch or fall-through cut
 	}
 	pb.set(off, sb)
-	return sb, nil
+	return sb, e, nil
 }

@@ -74,19 +74,20 @@ type RunConfig struct {
 
 // RunResult is one measured configuration — a point on a §5 figure.
 type RunResult struct {
-	OpsPerSec    float64
-	MBPerSec     float64
-	CPUUsagePct  float64 // across all vCPUs, as the paper reports
-	AvgOpMicros  float64
-	ElapsedSec   float64
-	BusyCycles   uint64 // interpreted + charged kernel cycles
-	WaitCycles   uint64 // device wait
-	RerandCycles uint64 // randomizer thread work
-	RerandSteps  int
-	Lanes        int    // vCPUs that physically executed operations
-	Blocks       uint64 // basic blocks retired by lanes (superblock execution)
-	IRQs         uint64 // ISR dispatches delivered at clock boundaries
-	IRQCycles    uint64 // cycles spent in ISRs (counted into CPU usage)
+	OpsPerSec     float64
+	MBPerSec      float64
+	CPUUsagePct   float64 // across all vCPUs, as the paper reports
+	AvgOpMicros   float64
+	ElapsedSec    float64
+	BusyCycles    uint64 // interpreted + charged kernel cycles
+	WaitCycles    uint64 // device wait
+	RerandCycles  uint64 // randomizer thread work
+	RerandSteps   int
+	Lanes         int    // vCPUs that physically executed operations
+	Blocks        uint64 // basic blocks retired by lanes (superblock execution)
+	ChainedBlocks uint64 // blocks entered via trace links, no dispatch-loop return
+	IRQs          uint64 // ISR dispatches delivered at clock boundaries
+	IRQCycles     uint64 // cycles spent in ISRs (counted into CPU usage)
 }
 
 // Engine drives measurements against one booted kernel.
@@ -110,10 +111,11 @@ func New(k *kernel.Kernel, r *rerand.Randomizer, b *bus.Bus) *Engine {
 
 // lap records one lane's physical cost for the op it ran this round.
 type lap struct {
-	busy   uint64
-	wait   uint64
-	blocks uint64
-	err    error
+	busy    uint64
+	wait    uint64
+	blocks  uint64
+	chained uint64
+	err     error
 }
 
 // Run executes cfg.Ops operations across the vCPUs, interleaving
@@ -235,6 +237,7 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 			res.BusyCycles += busy
 			res.WaitCycles += laps[l].wait
 			res.Blocks += laps[l].blocks
+			res.ChainedBlocks += laps[l].chained
 
 			busyUs := float64(busy) / CPUHz * 1e6
 			latencyUs := float64(busy+laps[l].wait) / CPUHz * 1e6
@@ -326,13 +329,16 @@ func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
 }
 
 // runOne executes a single operation on lane l's vCPU and measures its
-// interpreted cost. Block exits are sampled the same way cycles are: a
-// lane retires whole basic blocks inside its round slot, and the counts
-// are folded into the round's accounting at the barrier.
+// interpreted cost. Block and chain-link counts are sampled the same way
+// cycles are: a lane retires whole basic blocks (chained block→block on
+// hot traces) inside its round slot, and the counts are folded into the
+// round's accounting at the barrier.
 func (e *Engine) runOne(l int, op OpFunc) lap {
 	c := e.K.CPU(l)
 	before := c.Cycles
 	beforeBlocks := c.Blocks
+	beforeChained := c.ChainedBlocks
 	wait, err := op(c)
-	return lap{busy: c.Cycles - before, wait: wait, blocks: c.Blocks - beforeBlocks, err: err}
+	return lap{busy: c.Cycles - before, wait: wait,
+		blocks: c.Blocks - beforeBlocks, chained: c.ChainedBlocks - beforeChained, err: err}
 }

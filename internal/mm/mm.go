@@ -484,6 +484,28 @@ func (e Entry) Version() uint64 {
 	return e.fd.ver.Load()
 }
 
+// FrameRef is a stable one-word reference to a frame's content version.
+// Execution caches that link decoded code across translations (superblock
+// chain links) hold one per cached successor so they can revalidate the
+// frame's bytes with a single atomic load — no page walk, no TLB probe.
+// A recycled frame bumps its version on reallocation, so a stale ref can
+// never validate against a frame's next life.
+type FrameRef struct {
+	fd *frameData // nil for MMIO pages
+}
+
+// Ref returns the frame-version handle for this translation.
+func (e Entry) Ref() FrameRef { return FrameRef{fd: e.fd} }
+
+// Version returns the referenced frame's current content version (0 for
+// the zero ref and MMIO pages).
+func (r FrameRef) Version() uint64 {
+	if r.fd == nil {
+		return 0
+	}
+	return r.fd.ver.Load()
+}
+
 // NoteWrite records a content change through this translation (decoded
 // instruction caches watch exec-mapped frames; see PhysMem.NoteWrite).
 func (e Entry) NoteWrite() {

@@ -486,3 +486,56 @@ func BenchmarkRemapRegion(b *testing.B) {
 		cur = next
 	}
 }
+
+// TestFrameRefVersion: the one-word frame-version handle chain links
+// hold must observe exactly what Entry.Version observes — writes through
+// any alias of an exec-mapped frame, and frame recycling — so a stale
+// linked block can never revalidate.
+func TestFrameRefVersion(t *testing.T) {
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	code := uint64(KernelBase + 0x10000)
+	alias := uint64(KernelBase + 0x20000)
+	frames, err := as.MapRegion(code, 1, FlagExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := as.TranslateEntry(code, AccessExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := e.Ref()
+	if ref.Version() != e.Version() {
+		t.Fatalf("ref version %d != entry version %d", ref.Version(), e.Version())
+	}
+	v0 := ref.Version()
+	// A write through a writable alias of the exec frame must move the
+	// version the ref observes.
+	if err := as.Map(alias, frames[0], FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(alias, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Version() == v0 {
+		t.Fatal("alias write invisible through FrameRef")
+	}
+	// Recycling the frame must bump the version again: a ref recorded in
+	// the frame's previous life can never validate its next one.
+	v1 := ref.Version()
+	if err := as.UnmapRegion(code, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.UnmapRegion(alias, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := phys.Alloc(); got != frames[0] {
+		t.Fatalf("free list did not recycle frame %d (got %d)", frames[0], got)
+	}
+	if ref.Version() == v1 {
+		t.Fatal("frame recycling invisible through FrameRef")
+	}
+	if (FrameRef{}).Version() != 0 {
+		t.Fatal("zero FrameRef must report version 0")
+	}
+}

@@ -229,9 +229,12 @@ func (m *Machine) Engine() *engine.Engine {
 // deterministic barrier-synchronized virtual clock, interleaving
 // re-randomizer steps, and derives the figure-level metrics. Lanes
 // retire whole decoded basic blocks per round slot (superblock
-// execution, reported in RunResult.Blocks); per-block costs are replayed
+// execution, reported in RunResult.Blocks), chained block→block along
+// hot traces without returning to the dispatch loop (trace linking,
+// reported in RunResult.ChainedBlocks); per-block costs are replayed
 // into the closed-queueing model unchanged. See engine.Engine.Run for
-// the execution and queueing model.
+// the execution and queueing model and internal/cpu's superblock.go for
+// the link-invalidation contract.
 func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	return m.Engine().Run(cfg, op)
 }

@@ -46,6 +46,45 @@ func TestSuperblockRetirementDeterministic(t *testing.T) {
 	if a.Blocks == 0 {
 		t.Fatal("no superblocks retired; hot path not in use")
 	}
+	if a.ChainedBlocks == 0 {
+		t.Fatal("no blocks entered via trace links; chaining not in use on the hot path")
+	}
+}
+
+// TestRegistryChainedUnchainedEquivalent is the cross-mode contract the
+// CI equivalence gate enforces at -quick scale: every registered
+// experiment must produce a bit-identical Table with trace linking
+// disabled (cpu.SetChaining / ADELIE_NOCHAIN=1). Charged cycles can only
+// diverge when a followed link's successor translation would have missed
+// the TLB on the dispatch path — the same capacity-pressure exception
+// superblock execution documents against single-stepping — and every
+// registered experiment's working set is TLB-resident.
+func TestRegistryChainedUnchainedEquivalent(t *testing.T) {
+	for _, e := range Experiments.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			run := func() *Table {
+				p := e.Params(true)
+				for k, v := range determinismOverrides[e.Name] {
+					if err := p.Set(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tab, err := e.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tab
+			}
+			chained := run()
+			was := cpu.SetChaining(false)
+			t.Cleanup(func() { cpu.SetChaining(was) }) // restore even when run() t.Fatals
+			unchained := run()
+			if !reflect.DeepEqual(chained, unchained) {
+				t.Errorf("chained and unchained tables differ:\n%+v\n%+v", chained, unchained)
+			}
+		})
+	}
 }
 
 // determinismOverrides shrinks each experiment's work below even its
@@ -143,6 +182,42 @@ func TestNICInterruptDeterministic(t *testing.T) {
 	}
 	if a.row.DrainedRx == 0 || a.res.IRQs == 0 {
 		t.Fatalf("ISR never drained: %+v", a.row)
+	}
+}
+
+// TestISRDeliveryUnaffectedByChaining: trace linking must never carry a
+// chain across the engine's barrier-synchronized clock boundary, so an
+// ISR "arriving mid-chain" — a line raised while lanes retire linked
+// blocks inside a round — is still delivered at exactly the same
+// boundary, in the same order, with the same cycle stamps as unchained
+// execution. The scenario overflows the RX ring under coalescing so
+// drops, drains and re-asserted lines are all in play.
+func TestISRDeliveryUnaffectedByChaining(t *testing.T) {
+	run := func() (CoalesceRow, sim.RunResult, []string) {
+		row, res, m, err := nicCoalesceRun(16, 200, 240)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		for _, d := range m.Bus.IC().Trace() {
+			trace = append(trace, fmt.Sprintf("%d@%d:%v", d.Line, d.AtCycle, d.Handled))
+		}
+		return row, res, trace
+	}
+	rowC, resC, traceC := run()
+	was := cpu.SetChaining(false)
+	t.Cleanup(func() { cpu.SetChaining(was) }) // restore even when run() t.Fatals
+	rowU, resU, traceU := run()
+	if resC.ChainedBlocks == 0 || resU.ChainedBlocks != 0 {
+		t.Fatalf("mode mix-up: chained=%d unchained=%d links followed",
+			resC.ChainedBlocks, resU.ChainedBlocks)
+	}
+	resC.ChainedBlocks, resU.ChainedBlocks = 0, 0
+	if rowC != rowU || resC != resU {
+		t.Fatalf("coalescing outcome differs across modes:\n%+v %+v\n%+v %+v", rowC, resC, rowU, resU)
+	}
+	if strings.Join(traceC, ",") != strings.Join(traceU, ",") {
+		t.Fatalf("IRQ delivery order differs across modes:\n%v\n%v", traceC, traceU)
 	}
 }
 

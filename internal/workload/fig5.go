@@ -127,11 +127,15 @@ var expFig5a = &Experiment{
 // ---------------------------------------------------------------------------
 // Fig. 5b — dd buffer-cache read microbenchmark.
 
-// DDRow is one point of Fig. 5b.
+// DDRow is one point of Fig. 5b. Blocks/ChainedBlocks report the
+// interpreter's superblock counters for the run (selfbench's chain-rate
+// metric); they ride along and are not part of the rendered figure.
 type DDRow struct {
-	Config  Config
-	BlockKB int
-	MBps    float64
+	Config        Config
+	BlockKB       int
+	MBps          float64
+	Blocks        uint64
+	ChainedBlocks uint64
 }
 
 // DDBlockSizesKB is the sweep of Fig. 5b.
@@ -182,7 +186,8 @@ func dd(seed int64, cfg Config, blockKB, ops int) (DDRow, error) {
 	if err != nil {
 		return DDRow{}, err
 	}
-	return DDRow{Config: cfg, BlockKB: blockKB, MBps: res.MBPerSec}, nil
+	return DDRow{Config: cfg, BlockKB: blockKB, MBps: res.MBPerSec,
+		Blocks: res.Blocks, ChainedBlocks: res.ChainedBlocks}, nil
 }
 
 // DDSweep runs the full Fig. 5b grid.
