@@ -9,8 +9,18 @@
 //	benchtool run all                  # everything, in paper order
 //	benchtool -quick run all           # reduced op counts, smoke pass
 //	benchtool -p ops=400 -p seed=7 run fig5b   # per-param overrides
+//	benchtool -p ops=100..1600:100 run fig5b   # sweep: one table per point
+//	benchtool -parallel -p ops=100..1600:100 run fig5b  # fork-parallel sweep
 //	benchtool -json FILE run all       # structured Table JSON per figure
+//	benchtool -csv FILE run all        # long-form CSV, one line per cell
 //	benchtool validate FILE            # parse-check a -json record
+//
+// A -p value may be a range "lo..hi[:step]" (step defaults to 1): the
+// experiment runs once per point, producing one table per point. With
+// -parallel the points fan out across a worker pool and every machine
+// boot is served by a copy-on-write fork of a snapshotted template
+// instead of a cold boot; the output is bit-identical to the serial
+// sweep (CI diffs the two modes).
 //
 // The bare historical spelling (`benchtool fig5b`, `benchtool all`) still
 // works. With default params every experiment reproduces its recorded
@@ -26,6 +36,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,10 +66,12 @@ func (p *paramFlags) Set(s string) error {
 func main() {
 	quick := flag.Bool("quick", false, "reduced op counts (each param's quick value)")
 	jsonPath := flag.String("json", "", "write results as JSON: selfbench record, or structured figure tables")
-	checkPath := flag.String("check", "", "compare this selfbench JSON against the best BENCH_*.json; exit 1 on >20% dd regression")
+	csvPath := flag.String("csv", "", "write figure results as long-form CSV (one line per table cell)")
+	checkPath := flag.String("check", "", "compare this selfbench JSON against the best BENCH_*.json; exit 1 on a gated-metric regression")
 	reps := flag.Int("reps", 1, "selfbench repetitions per path; the minimum wall time is recorded (noisy hosts)")
+	parallel := flag.Bool("parallel", false, "run -p range sweeps fork-parallel (snapshot/fork boot pool + worker fan-out)")
 	var overrides paramFlags
-	flag.Var(&overrides, "p", "override an experiment parameter (key=val, repeatable)")
+	flag.Var(&overrides, "p", "override an experiment parameter (key=val or key=lo..hi[:step], repeatable)")
 	flag.Parse()
 	args := flag.Args()
 	if *checkPath != "" {
@@ -96,14 +109,14 @@ func main() {
 		}
 	}
 	// Anything else: experiment names directly (the historical spelling).
-	if err := runExperiments(args, overrides, *quick, *jsonPath, *reps); err != nil {
+	if err := runExperiments(args, overrides, *quick, *jsonPath, *csvPath, *reps, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtool: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-p key=val]... [-json FILE] [-check FILE] [-reps N] <command>
+	fmt.Fprintln(os.Stderr, `usage: benchtool [-quick] [-parallel] [-p key=val|key=lo..hi[:step]]... [-json FILE] [-csv FILE] [-check FILE] [-reps N] <command>
 commands:
   list                list registered experiments and their parameters
   run <name...|all>   run experiments by registry name (also: bare names)
@@ -133,6 +146,11 @@ type experimentRecord struct {
 	Name   string           `json:"name"`
 	Params map[string]int64 `json:"params"`
 	Table  *workload.Table  `json:"table"`
+
+	// paramsStr is the resolved params in declaration order — the
+	// deterministic rendering -csv uses (Params is a map; iterating it
+	// would make the CSV bytes flap run to run).
+	paramsStr string
 }
 
 // figureRecord is the -json shape for figure runs (selfbench keeps its
@@ -143,7 +161,7 @@ type figureRecord struct {
 	Experiments []experimentRecord `json:"experiments"`
 }
 
-func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath string, reps int) error {
+func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath, csvPath string, reps int, parallel bool) error {
 	if len(names) == 1 && names[0] == "all" {
 		names = workload.Experiments.Names()
 	}
@@ -163,8 +181,12 @@ func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath s
 	// beats silently running everything at defaults.
 	for _, kv := range overrides {
 		k, v, _ := strings.Cut(kv, "=")
-		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
-			return fmt.Errorf("-p %s: %q is not an integer", kv, v)
+		if _, isRange, err := workload.ParseRange(v); isRange {
+			if err != nil {
+				return fmt.Errorf("-p %s: %w", kv, err)
+			}
+		} else if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			return fmt.Errorf("-p %s: %q is not an integer (or lo..hi[:step] range)", kv, v)
 		}
 		matched := false
 		for _, name := range names {
@@ -201,23 +223,54 @@ func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath s
 			return unknownExperiment(name)
 		}
 		p := exp.Params(quick)
+		var sweepParam string
+		var sweepValues []int64
 		for _, kv := range overrides {
 			k, v, _ := strings.Cut(kv, "=")
 			// In a multi-name run "-p ops=…" tunes the experiments that
 			// have the param; pre-validation above guarantees each key
 			// matched somewhere and each value parses.
+			vals, isRange, _ := workload.ParseRange(v)
+			if isRange {
+				if err := p.Set(k, vals[0]); err != nil {
+					continue // this experiment has no such param
+				}
+				if sweepParam != "" && sweepParam != k {
+					return fmt.Errorf("%s: one -p range per run (have %s and %s)", name, sweepParam, k)
+				}
+				sweepParam, sweepValues = k, vals
+				continue
+			}
 			if err := p.SetString(k, v); err != nil {
 				continue
 			}
 		}
-		t, err := exp.Run(p)
+		if sweepParam == "" {
+			t, err := exp.Run(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			t.Fprint(os.Stdout)
+			rec.Experiments = append(rec.Experiments, experimentRecord{
+				Name: name, Params: p.Map(), Table: t, paramsStr: p.String(),
+			})
+			continue
+		}
+		pts, err := workload.RunSweep(exp, p, sweepParam, sweepValues, parallel, 0)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		t.Fprint(os.Stdout)
-		rec.Experiments = append(rec.Experiments, experimentRecord{
-			Name: name, Params: p.Map(), Table: t,
-		})
+		for _, pt := range pts {
+			pp := p.Clone()
+			if err := pp.Set(pt.Param, pt.Value); err != nil {
+				return err
+			}
+			fmt.Printf("\n-- %s %s=%d --\n", name, pt.Param, pt.Value)
+			pt.Table.Fprint(os.Stdout)
+			rec.Experiments = append(rec.Experiments, experimentRecord{
+				Name: name, Params: pp.Map(), Table: pt.Table, paramsStr: pp.String(),
+			})
+		}
 	}
 	if jsonPath != "" && len(rec.Experiments) > 0 && !wroteSelfbench {
 		b, err := json.MarshalIndent(rec, "", "  ")
@@ -230,7 +283,57 @@ func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath s
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
+	if csvPath != "" && len(rec.Experiments) > 0 {
+		if err := writeCSV(csvPath, rec.Experiments); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
 	return nil
+}
+
+// writeCSV renders experiment results in long form — one line per table
+// cell, `experiment,params,table,row,column,value` — the shape that
+// joins sweep points into a single plottable file. Child tables (the
+// ablation sections) flatten into the same stream under their own
+// titles. Cells render with %v: integers stay integers and floats use
+// Go's shortest round-trip form, so the bytes are deterministic and CI
+// can diff serial against fork-parallel sweep output.
+func writeCSV(path string, recs []experimentRecord) error {
+	var buf strings.Builder
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"experiment", "params", "table", "row", "column", "value"}); err != nil {
+		return err
+	}
+	var emit func(rec experimentRecord, t *workload.Table) error
+	emit = func(rec experimentRecord, t *workload.Table) error {
+		for ri, row := range t.Rows {
+			for ci, cell := range row {
+				if err := w.Write([]string{
+					rec.Name, rec.paramsStr, t.Title,
+					strconv.Itoa(ri), t.Columns[ci].Name, fmt.Sprintf("%v", cell),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		for _, c := range t.Children {
+			if err := emit(rec, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rec := range recs {
+		if err := emit(rec, rec.Table); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 // unknownExperiment builds the error for a name the registry doesn't
@@ -313,12 +416,31 @@ func parseFigureRecord(b []byte) (figureRecord, error) {
 
 // ddBenchKey is the hot-path figure the performance trajectory tracks;
 // nicBenchKey is the NIC RX→ISR→TX round-trip path added with the
-// device bus. Both are gated by -check (the NIC key only against
-// baselines that recorded it).
+// device bus; forkBenchKey and sweepBenchKey are the snapshot/fork
+// figures (machine fork latency, amortized wall time per point of a
+// fork-parallel 16-point Fig-5b sweep). All are gated by -check, each
+// only against baselines that recorded it.
 const (
-	ddBenchKey  = "fig5b_dd64_picret"
-	nicBenchKey = "nic_rx_irq_roundtrip"
+	ddBenchKey    = "fig5b_dd64_picret"
+	nicBenchKey   = "nic_rx_irq_roundtrip"
+	forkBenchKey  = "fork_us"
+	sweepBenchKey = "sweep16_amortized_ms"
 )
+
+// gatedPath is one metric the -check gate compares: a key, which record
+// map it lives in, and its unit for reporting. Lower is better for all.
+type gatedPath struct {
+	key     string
+	metrics bool // key lives in Metrics, not WallNsOp
+	unit    string
+}
+
+var gatedPaths = []gatedPath{
+	{ddBenchKey, false, "ns/op"},
+	{nicBenchKey, false, "ns/op"},
+	{forkBenchKey, true, "us"},
+	{sweepBenchKey, true, "ms"},
+}
 
 // regressionMargin is how much slower than the best recorded baseline
 // the gated run may be before the check fails. The default matches the
@@ -344,23 +466,34 @@ func readRecord(path string) (selfbenchRecord, error) {
 	return rec, json.Unmarshal(b, &rec)
 }
 
-// checkRegression fails if a gated host-ns/op path in the given
-// selfbench record regressed more than regressionMargin versus the
-// fastest committed BENCH_*.json baseline that recorded that path.
-// Baselines predating a metric (e.g. the NIC round-trip, added with the
-// device bus) simply don't constrain it.
+// checkRegression fails if any gated path in the given selfbench record
+// regressed more than regressionMargin versus the fastest committed
+// BENCH_*.json baseline that recorded that path. Baselines predating a
+// metric (the NIC round-trip, the fork figures) simply don't constrain
+// it. Every gated metric is compared before the verdict, and the error
+// names each offender with how far past the margin it landed — a gate
+// that only says "regressed" forces a re-run to learn what and by how
+// much.
 func checkRegression(path string) error {
 	cur, err := readRecord(path)
 	if err != nil {
 		return err
 	}
+	lookup := func(rec selfbenchRecord, g gatedPath) (float64, bool) {
+		if g.metrics {
+			v, ok := rec.Metrics[g.key]
+			return v, ok
+		}
+		v, ok := rec.WallNsOp[g.key]
+		return v, ok
+	}
 	// The record under check comes from the current selfbench, which
 	// always emits every gated path — a missing key means the gate
 	// would silently stop gating, so fail loudly instead. (Baselines
 	// may legitimately predate a metric; see below.)
-	for _, key := range []string{ddBenchKey, nicBenchKey} {
-		if _, ok := cur.WallNsOp[key]; !ok {
-			return fmt.Errorf("%s: no %q measurement", path, key)
+	for _, g := range gatedPaths {
+		if _, ok := lookup(cur, g); !ok {
+			return fmt.Errorf("%s: no %q measurement", path, g.key)
 		}
 	}
 	baselineNames, err := filepath.Glob("BENCH_*.json")
@@ -376,24 +509,31 @@ func checkRegression(path string) error {
 		baselines[b] = rec
 	}
 	margin := regressionMargin()
-	for _, key := range []string{ddBenchKey, nicBenchKey} {
-		curNs := cur.WallNsOp[key]
-		bestNs, bestName := 0.0, ""
+	var regressed []string
+	for _, g := range gatedPaths {
+		curV, _ := lookup(cur, g)
+		bestV, bestName := 0.0, ""
 		for _, b := range baselineNames {
-			if ns, ok := baselines[b].WallNsOp[key]; ok && (bestName == "" || ns < bestNs) {
-				bestNs, bestName = ns, b
+			if v, ok := lookup(baselines[b], g); ok && (bestName == "" || v < bestV) {
+				bestV, bestName = v, b
 			}
 		}
 		if bestName == "" {
-			fmt.Printf("check: no BENCH_*.json baselines with %q; nothing to compare\n", key)
+			fmt.Printf("check: no BENCH_*.json baselines with %q; nothing to compare\n", g.key)
 			continue
 		}
-		if curNs > bestNs*margin {
-			return fmt.Errorf("%s regressed: %.0f ns/op vs best baseline %.0f ns/op (%s, margin %.0f%%)",
-				key, curNs, bestNs, bestName, (margin-1)*100)
+		if curV > bestV*margin {
+			regressed = append(regressed, fmt.Sprintf(
+				"%s regressed %.1f%%: %.1f %s vs best baseline %.1f %s (%s, margin %.0f%%)",
+				g.key, (curV/bestV-1)*100, curV, g.unit, bestV, g.unit, bestName, (margin-1)*100))
+			continue
 		}
-		fmt.Printf("check: %s %.0f ns/op within %.0f%% of best baseline %.0f ns/op (%s)\n",
-			key, curNs, (margin-1)*100, bestNs, bestName)
+		fmt.Printf("check: %s %.1f %s within %.0f%% of best baseline %.1f %s (%s)\n",
+			g.key, curV, g.unit, (margin-1)*100, bestV, g.unit, bestName)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d gated metric(s) regressed:\n  %s",
+			len(regressed), strings.Join(regressed, "\n  "))
 	}
 	return nil
 }
@@ -524,6 +664,73 @@ func selfbench(jsonPath string, scale, reps int) error {
 		return err
 	}
 	rec.Metrics["scalability_20mods_corepct"] = sc[0].CPUPct
+
+	// Machine fork latency: microseconds to fork+release one machine from
+	// a frozen snapshot template (the Fig-5 dd shape: PIC+retpoline,
+	// ext4 loaded). This is the number that makes the parallel sweep
+	// runner's boots ~free; min over reps like the wall paths.
+	tmpl, err := workload.NewBenchMachine(workload.CfgPICRet, 5, "ext4")
+	if err != nil {
+		return err
+	}
+	if err := tmpl.Snapshot(); err != nil {
+		return err
+	}
+	const nForks = 64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < nForks; i++ {
+			f, err := tmpl.Fork()
+			if err != nil {
+				return err
+			}
+			f.Release()
+		}
+		us := float64(time.Since(start).Nanoseconds()) / 1e3 / nForks
+		if r == 0 || us < rec.Metrics[forkBenchKey] {
+			rec.Metrics[forkBenchKey] = us
+		}
+	}
+	tmpl.Release()
+
+	// 16-point Fig-5b ops sweep (the paper's "-p ops=100..1600" shape,
+	// ops scaled under -quick): amortized wall ms per point fork-parallel,
+	// with the serial/cold-boot sweep alongside so the recorded speedup
+	// documents what snapshot/fork parallelism buys end-to-end. One run
+	// each — the 16-point amortization already averages the noise a
+	// reps-min would fight, and the serial leg is too slow to repeat.
+	sweepExp, ok := workload.Experiments.Lookup("fig5b")
+	if !ok {
+		return fmt.Errorf("fig5b not registered")
+	}
+	sweepVals := make([]int64, 16)
+	for i := range sweepVals {
+		sweepVals[i] = int64((i + 1) * 100 / scale)
+	}
+	sweepBase := sweepExp.Params(scale > 1)
+	start := time.Now()
+	serialPts, err := workload.RunSweep(sweepExp, sweepBase, "ops", sweepVals, false, 0)
+	if err != nil {
+		return err
+	}
+	serialMs := float64(time.Since(start).Nanoseconds()) / 1e6 / float64(len(sweepVals))
+	start = time.Now()
+	parPts, err := workload.RunSweep(sweepExp, sweepBase, "ops", sweepVals, true, 0)
+	if err != nil {
+		return err
+	}
+	parMs := float64(time.Since(start).Nanoseconds()) / 1e6 / float64(len(sweepVals))
+	for i := range serialPts {
+		var a, b strings.Builder
+		serialPts[i].Table.Fprint(&a)
+		parPts[i].Table.Fprint(&b)
+		if a.String() != b.String() {
+			return fmt.Errorf("sweep point ops=%d: fork-parallel table diverges from serial", sweepVals[i])
+		}
+	}
+	rec.Metrics[sweepBenchKey] = parMs
+	rec.Metrics["sweep16_serial_ms"] = serialMs
+	rec.Metrics["sweep16_speedup"] = serialMs / parMs
 
 	fmt.Printf("%-26s %16s\n", "path", "host ns/op")
 	for _, k := range sortedKeys(rec.WallNsOp) {

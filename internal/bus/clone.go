@@ -1,0 +1,66 @@
+package bus
+
+import (
+	"fmt"
+
+	"adelie/internal/mm"
+)
+
+// CloneFor rebuilds this bus for a forked machine over as (the fork's
+// address space, whose MMIO regions still point at the template's
+// devices). replace maps each attached template device to its clone;
+// every window keeps its base and IRQ line, the cloned address space's
+// MMIO regions are rebound to the cloned devices, and IRQ devices are
+// re-wired to the clone's interrupt controller — so the fork's device
+// topology is identical and its interrupt state diverges independently.
+func (b *Bus) CloneFor(as *mm.AddressSpace, replace func(Device) Device) (*Bus, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nb := &Bus{
+		as:     as,
+		next:   b.next,
+		byName: make(map[string]attached, len(b.byName)),
+		ic:     b.ic.clone(),
+	}
+	nb.now.Store(b.now.Load())
+	for _, a := range b.devs {
+		nd := replace(a.dev)
+		if nd == nil {
+			return nil, fmt.Errorf("bus: clone: no replacement for device %q", a.dev.DevName())
+		}
+		if err := as.RebindMMIO(a.base, nd); err != nil {
+			return nil, fmt.Errorf("bus: clone: %q: %w", nd.DevName(), err)
+		}
+		na := attached{dev: nd, base: a.base, line: a.line}
+		if irqd, ok := nd.(IRQDevice); ok && a.line >= 0 {
+			irqd.ConnectIRQ(&Line{n: a.line, ic: nb.ic}, nb.Now)
+		}
+		nb.devs = append(nb.devs, na)
+		nb.byName[nd.DevName()] = na
+		if t, ok := nd.(Ticker); ok {
+			nb.tickers = append(nb.tickers, t)
+		}
+	}
+	return nb, nil
+}
+
+// clone deep-copies the interrupt controller: line count, pending set,
+// per-line counters and the delivery trace all carry over so a forked
+// machine's coalescing figures continue from the snapshot point.
+func (ic *IntController) clone() *IntController {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := &IntController{
+		lines:     ic.lines,
+		pending:   make(map[int]uint64, len(ic.pending)),
+		raised:    append([]uint64(nil), ic.raised...),
+		delivered: append([]uint64(nil), ic.delivered...),
+		spurious:  append([]uint64(nil), ic.spurious...),
+		latSum:    append([]uint64(nil), ic.latSum...),
+		trace:     append([]DeliveredIRQ(nil), ic.trace...),
+	}
+	for line, since := range ic.pending {
+		n.pending[line] = since
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+package cpu
+
+import "adelie/internal/mm"
+
+// CloneFor returns a copy of this vCPU for a forked machine: same
+// architectural state (registers, flags, RIP), same cycle and retire
+// counters, and a cloned TLB over the fork's address space so the
+// clone's future hit/miss — and therefore cycle — sequence matches the
+// template's. natives is the fork kernel's table (the closures captured
+// by native entries belong to a specific kernel, so the template's map
+// must not be shared).
+//
+// The decoded-instruction and superblock caches start empty: they are
+// host-side accelerators whose population is invisible to cycle
+// accounting (the same documented equivalence that lets ADELIE_NOCHAIN=1
+// disable chaining without changing results).
+func (c *CPU) CloneFor(as *mm.AddressSpace, natives map[uint64]*Native) *CPU {
+	n := New(c.ID, as)
+	n.Regs = c.Regs
+	n.RIP = c.RIP
+	n.ZF, n.SF, n.CF = c.ZF, c.SF, c.CF
+	n.TLB = c.TLB.CloneFor(as)
+	n.natives = natives
+	n.nativeLo, n.nativeHi = c.nativeLo, c.nativeHi
+	n.Cycles = c.Cycles
+	n.Insts = c.Insts
+	n.Blocks = c.Blocks
+	n.ChainedBlocks = c.ChainedBlocks
+	n.chainOn = c.chainOn
+	n.decodeHits, n.decodeMisses = c.decodeHits, c.decodeMisses
+	n.blockHits, n.blockMisses = c.blockHits, c.blockMisses
+	n.chainMisses = c.chainMisses
+	return n
+}

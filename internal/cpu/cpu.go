@@ -306,7 +306,9 @@ func (c *CPU) store64(va uint64, val uint64) error {
 	}
 	off := va & mm.PageMask
 	if off+8 <= mm.PageSize {
-		binary.LittleEndian.PutUint64(e.Bytes()[off:off+8], val)
+		// WritableBytes detaches a copy-on-write shared frame first; in a
+		// never-forked machine it is the same direct pointer Bytes returns.
+		binary.LittleEndian.PutUint64(e.WritableBytes()[off:off+8], val)
 		e.NoteWrite()
 		return nil
 	}

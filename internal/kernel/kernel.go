@@ -112,6 +112,46 @@ type Kernel struct {
 	log []string // printk buffer
 
 	moduleRangeLo, moduleRangeHi uint64 // placement window for modules
+
+	// randSrc is the counting source under Rand; Fork replays its call
+	// count against a fresh source so the clone's random stream continues
+	// bit-exactly where the template's stopped.
+	randSrc *countingSource
+}
+
+// countingSource wraps the seeded math/rand source and counts every
+// draw. Both Int63 and Uint64 advance the underlying generator state by
+// exactly one step, so "number of calls" fully determines the stream
+// position — which is all a fork needs to clone mid-stream RNG state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// newCountingSource seeds a fresh source and fast-forwards it by skip
+// draws.
+func newCountingSource(seed int64, skip uint64) *countingSource {
+	s := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	for i := uint64(0); i < skip; i++ {
+		s.src.Uint64()
+	}
+	s.n = skip
+	return s
 }
 
 type vaRegion struct{ lo, hi uint64 }
@@ -124,10 +164,12 @@ func New(cfg Config) (*Kernel, error) {
 	if cfg.NumCPUs > MaxCPUs {
 		return nil, fmt.Errorf("kernel: NumCPUs %d exceeds MaxCPUs %d (per-CPU driver arrays are sized for MaxCPUs)", cfg.NumCPUs, MaxCPUs)
 	}
+	src := newCountingSource(cfg.Seed, 0)
 	k := &Kernel{
 		Cfg:       cfg,
 		AS:        mm.NewAddressSpace(mm.NewPhysMem()),
-		Rand:      rand.New(rand.NewSource(cfg.Seed)),
+		Rand:      rand.New(src),
+		randSrc:   src,
 		symbols:   make(map[string]uint64),
 		natives:   make(map[uint64]*cpu.Native),
 		heapFree:  make(map[uint64][]uint64),
@@ -413,92 +455,143 @@ func readCString(as *mm.AddressSpace, va uint64, max int) string {
 	return string(out)
 }
 
-// registerCoreNatives installs the kernel API every module may import.
-// Costs are nominal cycle charges standing in for the real routines' work.
-func (k *Kernel) registerCoreNatives() {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+// nativeDef pairs a native's identity with its implementation; the core
+// API is expressed as a def list so a forked kernel can re-create the
+// closures bound to itself at the symbol addresses the template already
+// assigned (see rebindCoreNatives).
+type nativeDef struct {
+	name string
+	cost uint64
+	fn   func(c *cpu.CPU) error
+}
 
-	k.defineNativeLocked("printk", 150, func(c *cpu.CPU) error {
-		k.Printk(readCString(k.AS, c.Regs[7], 256)) // RDI
-		c.Regs[0] = 0
-		return nil
-	})
-	k.defineNativeLocked("kmalloc", 120, func(c *cpu.CPU) error {
-		va, err := k.Kmalloc(c.Regs[7])
-		if err != nil {
-			return err
-		}
-		c.Regs[0] = va
-		return nil
-	})
-	k.defineNativeLocked("kfree", 90, func(c *cpu.CPU) error {
-		return k.Kfree(c.Regs[7])
-	})
-	k.defineNativeLocked("memset64", 40, func(c *cpu.CPU) error {
-		// memset64(dst, val, nwords)
-		dst, val, n := c.Regs[7], c.Regs[6], c.Regs[2]
-		for i := uint64(0); i < n; i++ {
-			if err := k.AS.Write64(dst+8*i, val); err != nil {
-				return err
-			}
-		}
-		c.Cycles += n / 4
-		return nil
-	})
-	k.defineNativeLocked("memcpy64", 40, func(c *cpu.CPU) error {
-		// memcpy64(dst, src, nwords)
-		dst, src, n := c.Regs[7], c.Regs[6], c.Regs[2]
-		for i := uint64(0); i < n; i++ {
-			v, err := k.AS.Read64(src + 8*i)
+// coreNativeDefs builds the kernel API every module may import, with
+// every closure capturing this kernel. Costs are nominal cycle charges
+// standing in for the real routines' work.
+func (k *Kernel) coreNativeDefs() []nativeDef {
+	return []nativeDef{
+		{"printk", 150, func(c *cpu.CPU) error {
+			k.Printk(readCString(k.AS, c.Regs[7], 256)) // RDI
+			c.Regs[0] = 0
+			return nil
+		}},
+		{"kmalloc", 120, func(c *cpu.CPU) error {
+			va, err := k.Kmalloc(c.Regs[7])
 			if err != nil {
 				return err
 			}
-			if err := k.AS.Write64(dst+8*i, v); err != nil {
-				return err
+			c.Regs[0] = va
+			return nil
+		}},
+		{"kfree", 90, func(c *cpu.CPU) error {
+			return k.Kfree(c.Regs[7])
+		}},
+		{"memset64", 40, func(c *cpu.CPU) error {
+			// memset64(dst, val, nwords)
+			dst, val, n := c.Regs[7], c.Regs[6], c.Regs[2]
+			for i := uint64(0); i < n; i++ {
+				if err := k.AS.Write64(dst+8*i, val); err != nil {
+					return err
+				}
 			}
+			c.Cycles += n / 4
+			return nil
+		}},
+		{"memcpy64", 40, func(c *cpu.CPU) error {
+			// memcpy64(dst, src, nwords)
+			dst, src, n := c.Regs[7], c.Regs[6], c.Regs[2]
+			for i := uint64(0); i < n; i++ {
+				v, err := k.AS.Read64(src + 8*i)
+				if err != nil {
+					return err
+				}
+				if err := k.AS.Write64(dst+8*i, v); err != nil {
+					return err
+				}
+			}
+			c.Cycles += n / 2
+			return nil
+		}},
+		// cond_resched is the canonical cheap kernel helper drivers call on
+		// hot paths; under retpoline+PIC it is reached through a PLT stub,
+		// which is exactly where Fig. 5b's "slight performance hit of the
+		// PIC code" comes from.
+		{"cond_resched", 10, func(c *cpu.CPU) error {
+			return nil
+		}},
+		// smp_processor_id returns the executing vCPU's index. Drivers use it
+		// to address per-CPU state (counters, per-CPU device queue slots) so
+		// their data paths are SMP-correct when the engine runs operations on
+		// several vCPUs concurrently — the same this_cpu_* discipline real
+		// Linux drivers follow.
+		{"smp_processor_id", 5, func(c *cpu.CPU) error {
+			c.Regs[0] = uint64(c.ID) // RAX
+			return nil
+		}},
+		// queue_work(fn, arg) defers fn(arg) to workqueue context (§3.4).
+		{"queue_work", 80, func(c *cpu.CPU) error {
+			k.QueueWork(c.Regs[7], c.Regs[6]) // RDI, RSI
+			c.Regs[0] = 0
+			return nil
+		}},
+		// request_irq(line, handler) registers an interrupt service routine.
+		// Like queue_work, the handler address may point into the module's
+		// movable part; the re-randomizer slides registered vectors on moves.
+		{"request_irq", 150, func(c *cpu.CPU) error {
+			k.RegisterISR(int(c.Regs[7]), c.Regs[6]) // RDI, RSI
+			c.Regs[0] = 0
+			return nil
+		}},
+		// mr_start / mr_finish bracket externally-initiated module calls
+		// (paper §3.4). The slot is the executing CPU.
+		{"mr_start", 30, func(c *cpu.CPU) error {
+			k.SMR.Enter(c.ID)
+			return nil
+		}},
+		{"mr_finish", 30, func(c *cpu.CPU) error {
+			k.SMR.Leave(c.ID)
+			return nil
+		}},
+	}
+}
+
+// registerCoreNatives installs the kernel API every module may import.
+func (k *Kernel) registerCoreNatives() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, d := range k.coreNativeDefs() {
+		k.defineNativeLocked(d.name, d.cost, d.fn)
+	}
+}
+
+// rebindCoreNatives re-creates the core natives as closures over this
+// (forked) kernel at the symbol addresses the template assigned. Caller
+// holds k.mu; k.symbols must already carry the template's assignments.
+func (k *Kernel) rebindCoreNatives() {
+	for _, d := range k.coreNativeDefs() {
+		va, ok := k.symbols[d.name]
+		if !ok {
+			panic(fmt.Sprintf("kernel: fork: core native %q missing from symbol table", d.name))
 		}
-		c.Cycles += n / 2
-		return nil
-	})
-	// cond_resched is the canonical cheap kernel helper drivers call on
-	// hot paths; under retpoline+PIC it is reached through a PLT stub,
-	// which is exactly where Fig. 5b's "slight performance hit of the
-	// PIC code" comes from.
-	k.defineNativeLocked("cond_resched", 10, func(c *cpu.CPU) error {
-		return nil
-	})
-	// smp_processor_id returns the executing vCPU's index. Drivers use it
-	// to address per-CPU state (counters, per-CPU device queue slots) so
-	// their data paths are SMP-correct when the engine runs operations on
-	// several vCPUs concurrently — the same this_cpu_* discipline real
-	// Linux drivers follow.
-	k.defineNativeLocked("smp_processor_id", 5, func(c *cpu.CPU) error {
-		c.Regs[0] = uint64(c.ID) // RAX
-		return nil
-	})
-	// queue_work(fn, arg) defers fn(arg) to workqueue context (§3.4).
-	k.defineNativeLocked("queue_work", 80, func(c *cpu.CPU) error {
-		k.QueueWork(c.Regs[7], c.Regs[6]) // RDI, RSI
-		c.Regs[0] = 0
-		return nil
-	})
-	// request_irq(line, handler) registers an interrupt service routine.
-	// Like queue_work, the handler address may point into the module's
-	// movable part; the re-randomizer slides registered vectors on moves.
-	k.defineNativeLocked("request_irq", 150, func(c *cpu.CPU) error {
-		k.RegisterISR(int(c.Regs[7]), c.Regs[6]) // RDI, RSI
-		c.Regs[0] = 0
-		return nil
-	})
-	// mr_start / mr_finish bracket externally-initiated module calls
-	// (paper §3.4). The slot is the executing CPU.
-	k.defineNativeLocked("mr_start", 30, func(c *cpu.CPU) error {
-		k.SMR.Enter(c.ID)
-		return nil
-	})
-	k.defineNativeLocked("mr_finish", 30, func(c *cpu.CPU) error {
-		k.SMR.Leave(c.ID)
-		return nil
-	})
+		k.natives[va] = &cpu.Native{Name: d.name, Cost: d.cost, Fn: d.fn}
+	}
+}
+
+// RebindNative replaces the implementation behind an already-defined
+// native symbol, keeping its address and cost semantics. Forked machines
+// use it to point natives whose closures capture per-machine state (the
+// re-randomizer's stack-swap helpers) at the clone's state instead of
+// the template's.
+func (k *Kernel) RebindNative(name string, cost uint64, fn func(c *cpu.CPU) error) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	va, ok := k.symbols[name]
+	if !ok {
+		return fmt.Errorf("kernel: RebindNative: unknown symbol %q", name)
+	}
+	if _, isNative := k.natives[va]; !isNative {
+		return fmt.Errorf("kernel: RebindNative: symbol %q is not a native", name)
+	}
+	k.natives[va] = &cpu.Native{Name: name, Cost: cost, Fn: fn}
+	return nil
 }

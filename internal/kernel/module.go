@@ -339,7 +339,7 @@ func (p *Part) flagsForPage(pg int) mm.PageFlags {
 // into a run of frames.
 func writeFrameWord(phys *mm.PhysMem, frames []mm.FrameID, off uint64, val uint64) {
 	fr := frames[off/mm.PageSize]
-	b := phys.Frame(fr)
+	b := phys.WritableFrame(fr)
 	o := off % mm.PageSize
 	for i := 0; i < 8; i++ {
 		b[o+uint64(i)] = byte(val >> (8 * i))

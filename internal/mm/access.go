@@ -35,7 +35,7 @@ func (as *AddressSpace) WriteBytes(va uint64, b []byte) error {
 		if chunk > len(b) {
 			chunk = len(b)
 		}
-		copy(as.phys.Frame(frame)[off:off+chunk], b[:chunk])
+		copy(as.phys.WritableFrame(frame)[off:off+chunk], b[:chunk])
 		as.phys.NoteWrite(frame)
 		va += uint64(chunk)
 		b = b[chunk:]
@@ -58,7 +58,7 @@ func (as *AddressSpace) WriteBytesForce(va uint64, b []byte) error {
 		if chunk > len(b) {
 			chunk = len(b)
 		}
-		copy(as.phys.Frame(frame)[off:off+chunk], b[:chunk])
+		copy(as.phys.WritableFrame(frame)[off:off+chunk], b[:chunk])
 		as.phys.NoteWrite(frame)
 		va += uint64(chunk)
 		b = b[chunk:]
@@ -104,7 +104,7 @@ func (as *AddressSpace) Write64(va uint64, val uint64) error {
 	}
 	off := va & PageMask
 	if off+8 <= PageSize {
-		binary.LittleEndian.PutUint64(as.phys.Frame(frame)[off:off+8], val)
+		binary.LittleEndian.PutUint64(as.phys.WritableFrame(frame)[off:off+8], val)
 		as.phys.NoteWrite(frame)
 		return nil
 	}

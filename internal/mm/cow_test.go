@@ -1,0 +1,247 @@
+package mm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// cowPair builds a parent address space with one writable+one exec page
+// of recognizable content, then forks it. Returns parent AS, fork AS.
+func cowPair(t *testing.T) (*AddressSpace, *AddressSpace) {
+	t.Helper()
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	const dataVA = KernelBase
+	const codeVA = KernelBase + PageSize
+	if _, err := as.MapRegion(dataVA, 1, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapRegion(codeVA, 1, FlagExec); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(dataVA, []byte("template-data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytesForce(codeVA, []byte{0xAA, 0xBB, 0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	return as, as.Fork(phys.Fork())
+}
+
+func TestCOWWriteAfterForkIsolation(t *testing.T) {
+	parent, fork := cowPair(t)
+	const dataVA = KernelBase
+
+	// Before any write the fork reads the template's bytes via shared frames.
+	if got, _ := fork.ReadBytes(dataVA, 13); string(got) != "template-data" {
+		t.Fatalf("fork reads %q, want template-data", got)
+	}
+	if parent.Phys().SharedFrames() == 0 {
+		t.Fatal("no frames shared after fork")
+	}
+
+	// Writing in the fork must not leak into the parent.
+	if err := fork.WriteBytes(dataVA, []byte("forked!")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fork.ReadBytes(dataVA, 7); string(got) != "forked!" {
+		t.Fatalf("fork reads %q after its own write", got)
+	}
+	if got, _ := parent.ReadBytes(dataVA, 13); string(got) != "template-data" {
+		t.Fatalf("parent corrupted by fork write: %q", got)
+	}
+
+	// And vice versa: a second fork sees the template bytes, not the
+	// sibling's.
+	sibling := parent.Fork(parent.Phys().Fork())
+	if got, _ := sibling.ReadBytes(dataVA, 13); string(got) != "template-data" {
+		t.Fatalf("sibling reads %q, want template bytes", got)
+	}
+	sibling.Phys().Release()
+	fork.Phys().Release()
+}
+
+func TestCOWVersionBumpInvalidatesCachedCode(t *testing.T) {
+	_, fork := cowPair(t)
+	const codeVA = KernelBase + PageSize
+
+	// Simulate what a superblock chain link holds: a translation Entry and
+	// its FrameRef captured before the write.
+	e, err := fork.TranslateEntry(codeVA, AccessExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := e.Ref()
+	verBefore := ref.Version()
+	window := append([]byte(nil), e.CodeWindow(0)[:3]...)
+	if !bytes.Equal(window, []byte{0xAA, 0xBB, 0xCC}) {
+		t.Fatalf("cached code window = %x", window)
+	}
+
+	// COW write to the exec frame in the fork (loader-style forced write).
+	if err := fork.WriteBytesForce(codeVA, []byte{0x11}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cached ref must observe a version bump — that is what frees the
+	// decode/superblock caches from explicit invalidation — and the cached
+	// Entry must resolve to the new private bytes, not the shared record.
+	if ref.Version() <= verBefore {
+		t.Fatalf("version not bumped by COW write: %d -> %d", verBefore, ref.Version())
+	}
+	if e.Version() <= verBefore {
+		t.Fatal("cached entry still validates against pre-COW version")
+	}
+	if got := e.Bytes()[0]; got != 0x11 {
+		t.Fatalf("cached entry reads stale byte %#x after COW", got)
+	}
+}
+
+func TestCOWParentUnaffectedByForkCodeWrite(t *testing.T) {
+	parent, fork := cowPair(t)
+	const codeVA = KernelBase + PageSize
+	pv := parent.Phys().FrameVersion(1) // frame 1 backs the code page
+	if err := fork.WriteBytesForce(codeVA, []byte{0x99}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := parent.ReadBytes(codeVA, 1); got[0] != 0xAA {
+		t.Fatalf("parent code byte changed to %#x", got[0])
+	}
+	if parent.Phys().FrameVersion(1) != pv {
+		t.Fatal("parent frame version bumped by fork's COW write")
+	}
+	if fork.Phys().FrameVersion(1) <= pv {
+		t.Fatal("fork frame version not past the shared version")
+	}
+}
+
+func TestCOWConcurrentForks(t *testing.T) {
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	const base = KernelBase
+	const npages = 8
+	if _, err := as.MapRegion(base, npages, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < npages; i++ {
+		if err := as.Write64(base+uint64(i)*PageSize, 0xC0FFEE); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const forks = 8
+	var wg sync.WaitGroup
+	errs := make([]error, forks)
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			f := as.Fork(phys.Fork())
+			for p := 0; p < npages; p++ {
+				va := base + uint64(p)*PageSize
+				if err := f.Write64(va, uint64(n)); err != nil {
+					errs[n] = err
+					return
+				}
+				got, err := f.Read64(va)
+				if err != nil {
+					errs[n] = err
+					return
+				}
+				if got != uint64(n) {
+					t.Errorf("fork %d reads %#x", n, got)
+					return
+				}
+			}
+			f.Phys().Release()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All forks released: the template owns every frame privately again.
+	if n := phys.SharedFrames(); n != 0 {
+		t.Fatalf("%d frames still shared after all forks released", n)
+	}
+	for i := 0; i < npages; i++ {
+		got, err := as.Read64(base + uint64(i)*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0xC0FFEE {
+			t.Fatalf("template page %d corrupted: %#x", i, got)
+		}
+	}
+}
+
+func TestCOWReleaseRefcounts(t *testing.T) {
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	if _, err := as.MapRegion(KernelBase, 4, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := phys.Fork()
+	fork := as.Fork(fp)
+
+	// The fork COWs one page: that private record dies with the fork; the
+	// other three records survive in the template.
+	if err := fork.Write64(KernelBase, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dead := fp.Release(); dead != 1 {
+		t.Fatalf("fork release freed %d records, want 1 (its private COW copy)", dead)
+	}
+	if n := phys.SharedFrames(); n != 0 {
+		t.Fatalf("%d frames still shared after fork release", n)
+	}
+
+	// Releasing the template last frees everything it owns.
+	if dead := phys.Release(); dead != 4 {
+		t.Fatalf("template release freed %d records, want 4", dead)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	phys.Release()
+}
+
+func TestCOWAllocRecycleDetaches(t *testing.T) {
+	// Recycling a freed frame that is still shared with a fork must detach,
+	// not zero the shared record in place.
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	if _, err := as.MapRegion(KernelBase, 1, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write64(KernelBase, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	fp := phys.Fork()
+	fork := as.Fork(fp)
+
+	// Template frees and re-allocates the frame (recycle path).
+	if err := as.UnmapRegion(KernelBase, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	id := phys.Alloc()
+	if got := phys.Frame(id)[0]; got != 0 {
+		t.Fatalf("recycled frame not zeroed: %#x", got)
+	}
+	// The fork still reads the pre-fork contents.
+	got, err := fork.Read64(KernelBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEAD {
+		t.Fatalf("fork lost shared contents on template recycle: %#x", got)
+	}
+	fp.Release()
+}

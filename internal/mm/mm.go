@@ -115,38 +115,91 @@ func (e *PageFault) Error() string {
 // that is (or ever was) mapped executable; per-vCPU decoded-instruction
 // caches validate against it, which closes the W^X hole of writing a
 // code page through a writable alias mapping.
+//
+// refs counts how many machines' frame tables point at this record.
+// A frame is born private (refs == 1); PhysMem.Fork increments refs for
+// every frame it shares copy-on-write, and the first write through any
+// sharer replaces its slot's record with a private copy (see
+// frameSlot.private). Content never changes under a sharer's feet: a
+// shared record is immutable until the last-but-one reference detaches.
 type frameData struct {
 	data [PageSize]byte
 	ver  atomic.Uint64 // content version (see NoteWrite)
 	exec atomic.Bool   // frame has been mapped executable at least once
+	refs atomic.Int64  // machines sharing this record (1 = private)
 }
 
-// PhysMem is the physical memory of the machine: a growable set of 4 KB
+// frameSlot is one machine's view of a physical frame: a stable cell
+// whose current frameData pointer is swapped on copy-on-write. Slots are
+// per-machine — forking copies the slot table, so sibling machines COW
+// independently while the FrameID namespace (and everything keyed by it:
+// page tables, module bookkeeping, decode caches) stays valid verbatim.
+type frameSlot struct {
+	mu sync.Mutex // serializes copy-on-write on this slot
+	fd atomic.Pointer[frameData]
+}
+
+// load returns the slot's current frame record.
+func (s *frameSlot) load() *frameData { return s.fd.Load() }
+
+// private returns the slot's frame record, detaching it from any
+// copy-on-write sharing first: if the record is shared, its bytes are
+// copied into a fresh private record whose content version is bumped —
+// which is exactly what invalidates decoded-instruction caches,
+// superblocks and chain links built against the shared bytes.
+func (s *frameSlot) private() *frameData {
+	fd := s.fd.Load()
+	if fd.refs.Load() == 1 {
+		return fd
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fd = s.fd.Load()
+	if fd.refs.Load() == 1 {
+		return fd
+	}
+	nfd := &frameData{data: fd.data}
+	nfd.ver.Store(fd.ver.Load() + 1)
+	nfd.exec.Store(fd.exec.Load())
+	nfd.refs.Store(1)
+	s.fd.Store(nfd)
+	fd.refs.Add(-1)
+	return nfd
+}
+
+// PhysMem is the physical memory of one machine: a growable set of 4 KB
 // frames with a free list. Frames are zeroed on allocation.
 //
-// The frame table is published through an atomic pointer so that the
+// The slot table is published through an atomic pointer so that the
 // translation fast path (vCPUs running concurrently on host goroutines)
 // can index frames without taking the allocator lock. Alloc appends
 // under the lock, then republishes; readers always observe a prefix
 // that is fully initialized.
 type PhysMem struct {
-	mu     sync.Mutex
-	frames atomic.Pointer[[]*frameData]
-	free   []FrameID
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*frameSlot]
+	free  []FrameID
 
 	allocated   atomic.Int64 // currently live frames
 	totalAllocs atomic.Int64
+	released    bool // Release was called (teardown); second call panics
 }
 
 // NewPhysMem returns an empty physical memory.
 func NewPhysMem() *PhysMem {
 	p := &PhysMem{}
-	empty := make([]*frameData, 0)
-	p.frames.Store(&empty)
+	empty := make([]*frameSlot, 0)
+	p.slots.Store(&empty)
 	return p
 }
 
-func (p *PhysMem) table() []*frameData { return *p.frames.Load() }
+func (p *PhysMem) table() []*frameSlot { return *p.slots.Load() }
+
+func newFrameData() *frameData {
+	fd := &frameData{}
+	fd.refs.Store(1)
+	return fd
+}
 
 // Alloc allocates a zeroed frame.
 func (p *PhysMem) Alloc() FrameID {
@@ -157,7 +210,20 @@ func (p *PhysMem) Alloc() FrameID {
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
 		p.free = p.free[:n-1]
-		f := p.table()[id]
+		s := p.table()[id]
+		f := s.fd.Load()
+		if f.refs.Load() > 1 {
+			// The recycled frame is still shared copy-on-write with a
+			// sibling machine: detach instead of zeroing in place. The
+			// fresh record continues the version sequence so stale cache
+			// entries in this machine can never validate against it.
+			nf := &frameData{}
+			nf.ver.Store(f.ver.Load() + 1)
+			nf.refs.Store(1)
+			s.fd.Store(nf)
+			f.refs.Add(-1)
+			return id
+		}
 		f.data = [PageSize]byte{}
 		// A recycled frame may carry decoded-instruction cache entries
 		// from its previous life; invalidate them and reset exec.
@@ -166,10 +232,12 @@ func (p *PhysMem) Alloc() FrameID {
 		return id
 	}
 	fs := p.table()
-	nfs := make([]*frameData, len(fs)+1)
+	nfs := make([]*frameSlot, len(fs)+1)
 	copy(nfs, fs)
-	nfs[len(fs)] = &frameData{}
-	p.frames.Store(&nfs)
+	ns := &frameSlot{}
+	ns.fd.Store(newFrameData())
+	nfs[len(fs)] = ns
+	p.slots.Store(&nfs)
 	return FrameID(len(fs))
 }
 
@@ -194,8 +262,8 @@ func (p *PhysMem) Free(id FrameID) {
 	p.free = append(p.free, id)
 }
 
-// frame returns the frame record, lock-free.
-func (p *PhysMem) frame(id FrameID) *frameData {
+// slot returns the frame's slot, lock-free.
+func (p *PhysMem) slot(id FrameID) *frameSlot {
 	fs := p.table()
 	if int(id) >= len(fs) {
 		panic(fmt.Sprintf("mm: access to invalid frame %d", id))
@@ -203,9 +271,74 @@ func (p *PhysMem) frame(id FrameID) *frameData {
 	return fs[id]
 }
 
-// Frame returns the backing bytes of a frame. The caller must not retain
-// the slice across a Free of the same frame.
+// frame returns the frame's current record, lock-free.
+func (p *PhysMem) frame(id FrameID) *frameData { return p.slot(id).load() }
+
+// Frame returns the backing bytes of a frame for reading. The caller must
+// not retain the slice across a Free of the same frame.
 func (p *PhysMem) Frame(id FrameID) []byte { return p.frame(id).data[:] }
+
+// WritableFrame returns the backing bytes of a frame for writing,
+// performing copy-on-write first if the frame is shared with a forked
+// sibling machine. All write paths that bypass the TLB (kernel access
+// helpers, device DMA, the loader) must use it instead of Frame.
+func (p *PhysMem) WritableFrame(id FrameID) []byte { return p.slot(id).private().data[:] }
+
+// Fork returns a copy-on-write clone of this physical memory: a new slot
+// table pointing at the same frame records with every refcount bumped.
+// The clone and the original then detach frames independently on first
+// write. Forking a machine that is concurrently writing memory is a data
+// race — sim.Machine.Snapshot freezes the template first.
+func (p *PhysMem) Fork() *PhysMem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	src := p.table()
+	nslots := make([]*frameSlot, len(src))
+	for i, s := range src {
+		fd := s.fd.Load()
+		fd.refs.Add(1)
+		ns := &frameSlot{}
+		ns.fd.Store(fd)
+		nslots[i] = ns
+	}
+	np := &PhysMem{free: append([]FrameID(nil), p.free...)}
+	np.slots.Store(&nslots)
+	np.allocated.Store(p.allocated.Load())
+	np.totalAllocs.Store(p.totalAllocs.Load())
+	return np
+}
+
+// Release drops this machine's reference on every frame record (fork
+// teardown). It returns the number of records whose last reference died
+// here — frames whose memory becomes collectible. The PhysMem must not
+// be used afterwards; a second Release panics.
+func (p *PhysMem) Release() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.released {
+		panic("mm: PhysMem released twice")
+	}
+	p.released = true
+	var dead int64
+	for _, s := range p.table() {
+		if s.fd.Load().refs.Add(-1) == 0 {
+			dead++
+		}
+	}
+	return dead
+}
+
+// SharedFrames returns the number of frames currently shared copy-on-write
+// with another machine (refcount > 1).
+func (p *PhysMem) SharedFrames() int64 {
+	var n int64
+	for _, s := range p.table() {
+		if s.fd.Load().refs.Load() > 1 {
+			n++
+		}
+	}
+	return n
+}
 
 // FrameVersion returns the content version of a frame. It only advances
 // on writes to exec-mapped frames (and on frame recycling), so decoded
@@ -269,6 +402,7 @@ type AddressSpace struct {
 	root *table
 	phys *PhysMem
 	mmio []mmioRegion
+	cow  bool // forked machine: translations resolve frames via slots
 
 	mapped     int           // currently mapped pages
 	gen        atomic.Uint64 // bumped on unmap/protect: TLB shootdown signal
@@ -447,21 +581,54 @@ func (as *AddressSpace) Lookup(va uint64) (FrameID, PageFlags, bool) {
 }
 
 // Entry is one resolved translation, as cached by TLBs and consumed by
-// the CPU fast paths. For non-MMIO pages it carries a direct pointer to
-// the frame record so loads, stores and instruction fetch can touch
-// memory without re-walking the page tables or locking the allocator.
+// the CPU fast paths. For non-MMIO pages in a machine that was never
+// forked it carries a direct pointer to the frame record, so loads,
+// stores and instruction fetch touch memory without re-walking the page
+// tables or locking the allocator. In a forked (copy-on-write) machine
+// it instead carries the frame's slot and resolves the current record on
+// every access: a cached direct pointer would keep reading the shared
+// pre-fork bytes after a device or sibling vCPU detached the frame —
+// slot indirection makes post-COW writes visible without TLB shootdowns.
 type Entry struct {
 	Frame FrameID
 	Flags PageFlags
-	fd    *frameData // nil for MMIO pages
+	fd    *frameData // direct record; nil for MMIO pages and COW mode
+	slot  *frameSlot // COW mode; nil for MMIO pages and direct mode
 }
 
-// Bytes returns the frame's backing bytes (nil for MMIO pages).
+// rec resolves the entry's current frame record (nil for MMIO pages).
+func (e Entry) rec() *frameData {
+	if e.fd != nil {
+		return e.fd
+	}
+	if e.slot != nil {
+		return e.slot.load()
+	}
+	return nil
+}
+
+// Bytes returns the frame's backing bytes for reading (nil for MMIO
+// pages).
 func (e Entry) Bytes() []byte {
-	if e.fd == nil {
+	fd := e.rec()
+	if fd == nil {
 		return nil
 	}
-	return e.fd.data[:]
+	return fd.data[:]
+}
+
+// WritableBytes returns the frame's backing bytes for writing, detaching
+// the frame from copy-on-write sharing first if needed (nil for MMIO
+// pages). The store fast path must use it instead of Bytes: writing
+// shared bytes would leak into the snapshot template and every sibling.
+func (e Entry) WritableBytes() []byte {
+	if e.fd != nil {
+		return e.fd.data[:]
+	}
+	if e.slot == nil {
+		return nil
+	}
+	return e.slot.private().data[:]
 }
 
 // CodeWindow returns the frame's bytes from off to the end of the page —
@@ -470,47 +637,55 @@ func (e Entry) Bytes() []byte {
 // would need the next frame's translation and content version). Nil for
 // MMIO pages.
 func (e Entry) CodeWindow(off int) []byte {
-	if e.fd == nil {
+	fd := e.rec()
+	if fd == nil {
 		return nil
 	}
-	return e.fd.data[off:]
+	return fd.data[off:]
 }
 
 // Version returns the frame's content version (0 for MMIO pages).
 func (e Entry) Version() uint64 {
-	if e.fd == nil {
+	fd := e.rec()
+	if fd == nil {
 		return 0
 	}
-	return e.fd.ver.Load()
+	return fd.ver.Load()
 }
 
 // FrameRef is a stable one-word reference to a frame's content version.
 // Execution caches that link decoded code across translations (superblock
 // chain links) hold one per cached successor so they can revalidate the
 // frame's bytes with a single atomic load — no page walk, no TLB probe.
-// A recycled frame bumps its version on reallocation, so a stale ref can
-// never validate against a frame's next life.
+// A recycled frame bumps its version on reallocation, and copy-on-write
+// detach bumps it past the shared record's, so a stale ref can never
+// validate against a frame's next life.
 type FrameRef struct {
-	fd *frameData // nil for MMIO pages
+	fd   *frameData // nil for MMIO pages and COW mode
+	slot *frameSlot // COW mode
 }
 
 // Ref returns the frame-version handle for this translation.
-func (e Entry) Ref() FrameRef { return FrameRef{fd: e.fd} }
+func (e Entry) Ref() FrameRef { return FrameRef{fd: e.fd, slot: e.slot} }
 
 // Version returns the referenced frame's current content version (0 for
 // the zero ref and MMIO pages).
 func (r FrameRef) Version() uint64 {
-	if r.fd == nil {
-		return 0
+	fd := r.fd
+	if fd == nil {
+		if r.slot == nil {
+			return 0
+		}
+		fd = r.slot.load()
 	}
-	return r.fd.ver.Load()
+	return fd.ver.Load()
 }
 
 // NoteWrite records a content change through this translation (decoded
 // instruction caches watch exec-mapped frames; see PhysMem.NoteWrite).
 func (e Entry) NoteWrite() {
-	if e.fd != nil && e.fd.exec.Load() {
-		e.fd.ver.Add(1)
+	if fd := e.rec(); fd != nil && fd.exec.Load() {
+		fd.ver.Add(1)
 	}
 }
 
@@ -537,7 +712,11 @@ func (as *AddressSpace) TranslateEntry(va uint64, access Access) (Entry, error) 
 	}
 	out := Entry{Frame: e.frame, Flags: e.flags}
 	if e.flags&FlagMMIO == 0 {
-		out.fd = as.phys.frame(e.frame)
+		if as.cow {
+			out.slot = as.phys.slot(e.frame)
+		} else {
+			out.fd = as.phys.frame(e.frame)
+		}
 	}
 	return out, nil
 }
@@ -659,6 +838,61 @@ func (as *AddressSpace) RegisterMMIO(base uint64, npages int, handler MMIOHandle
 	as.mmio = append(as.mmio, mmioRegion{base: base, npages: npages, handler: handler})
 	as.mu.Unlock()
 	return nil
+}
+
+// Fork returns a copy-on-write clone of this address space over phys
+// (which must be the matching PhysMem.Fork result: the FrameID namespace
+// carries over verbatim). The clone gets deep-copied page tables — so
+// Map/Unmap/Protect diverge freely — and runs in COW mode: translations
+// resolve frames through slots so post-fork writes are visible to every
+// cached entry. MMIO regions are copied with their handlers still
+// pointing at the template's devices; the bus clone rebinds them via
+// RebindMMIO.
+func (as *AddressSpace) Fork(phys *PhysMem) *AddressSpace {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	nas := &AddressSpace{
+		root:   cloneTable(as.root, numLevels-1),
+		phys:   phys,
+		mmio:   append([]mmioRegion(nil), as.mmio...),
+		cow:    true,
+		mapped: as.mapped,
+	}
+	nas.gen.Store(as.gen.Load())
+	nas.shootdowns.Store(as.shootdowns.Load())
+	return nas
+}
+
+// cloneTable deep-copies a page-table subtree (depth counts the interior
+// levels remaining below this table).
+func cloneTable(t *table, depth int) *table {
+	nt := &table{used: t.used}
+	for i, e := range t.entries {
+		if e == nil {
+			continue
+		}
+		ne := &pte{frame: e.frame, flags: e.flags, leaf: e.leaf}
+		if depth > 0 && e.child != nil {
+			ne.child = cloneTable(e.child, depth-1)
+		}
+		nt.entries[i] = ne
+	}
+	return nt
+}
+
+// RebindMMIO replaces the handler of the MMIO region registered at base —
+// used when forking a machine to point the cloned address space's device
+// windows at the cloned devices instead of the template's.
+func (as *AddressSpace) RebindMMIO(base uint64, handler MMIOHandler) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i := range as.mmio {
+		if as.mmio[i].base == base {
+			as.mmio[i].handler = handler
+			return nil
+		}
+	}
+	return fmt.Errorf("mm: RebindMMIO: no region at %#x", base)
 }
 
 // mmioFor returns the handler and region-relative offset for va, if va

@@ -113,6 +113,47 @@ func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, err
 	return e.Frame, e.Flags, hit, err
 }
 
+// CloneFor returns a copy of this TLB resolving against as (the forked
+// address space of the machine the clone belongs to). The resident set,
+// FIFO insertion order and hit/miss/flush counters carry over, so the
+// clone's future eviction and refill sequence — and every cycle it
+// charges — matches what the template's TLB would have done: the
+// fork-determinism contract depends on it. Cached entries are
+// re-resolved against as so they use its COW slot indirection; the L1
+// front cache starts empty (it is a pure lookup accelerator and never
+// affects accounting). If a shootdown invalidated the cached set, the
+// clone starts empty like the template would at its next access.
+func (t *TLB) CloneFor(as *AddressSpace) *TLB {
+	nt := &TLB{
+		as:      as,
+		entries: make(map[uint64]Entry, len(t.entries)),
+		cap:     t.cap,
+		gen:     t.gen,
+		hits:    t.hits,
+		misses:  t.misses,
+		flushes: t.flushes,
+	}
+	if t.gen != as.Generation() || len(t.entries) == 0 {
+		return nt
+	}
+	nt.fifo = make([]uint64, len(t.fifo))
+	copy(nt.fifo, t.fifo)
+	nt.head = t.head
+	for page := range t.entries {
+		// Generation matched, so every cached translation is still mapped;
+		// AccessRead re-resolves it without a permission surprise (flags
+		// come from the page table, identical to the template's).
+		e, err := as.TranslateEntry(page, AccessRead)
+		if err != nil {
+			// Unreachable while generations match; degrade to a cold TLB.
+			return &TLB{as: as, entries: make(map[uint64]Entry), cap: t.cap,
+				gen: t.gen, hits: t.hits, misses: t.misses, flushes: t.flushes}
+		}
+		nt.entries[page] = e
+	}
+	return nt
+}
+
 // Flush drops all cached translations.
 func (t *TLB) Flush() {
 	clear(t.entries)

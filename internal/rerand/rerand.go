@@ -56,12 +56,50 @@ func New(k *kernel.Kernel) *Randomizer {
 		K:    k,
 		Pool: stackpool.New(k.NumCPUs(), k.AllocStack, k.FreeStack),
 	}
+	r.installStackNatives(func(name string, cost uint64, fn func(*cpu.CPU) error) error {
+		k.DefineNative(name, cost, fn)
+		return nil
+	})
+	return r
+}
 
+// Fork returns a randomizer for a forked kernel: the stack pool is
+// cloned (the queued top-of-stack VAs carry over — forking preserves
+// all mappings), the module list is remapped to the fork kernel's
+// module copies by name, counters are carried over, and the
+// stack-substitution natives are rebound so their closures capture the
+// fork's pool instead of the template's.
+func Fork(nk *kernel.Kernel, tmpl *Randomizer) (*Randomizer, error) {
+	r := &Randomizer{
+		K:    nk,
+		Pool: tmpl.Pool.Clone(nk.AllocStack, nk.FreeStack),
+	}
+	tmpl.mu.Lock()
+	mods := append([]*kernel.Module(nil), tmpl.modules...)
+	tmpl.mu.Unlock()
+	for _, m := range mods {
+		nm, ok := nk.Module(m.Name)
+		if !ok {
+			return nil, fmt.Errorf("rerand: fork: module %s missing from forked kernel", m.Name)
+		}
+		r.modules = append(r.modules, nm)
+	}
+	r.randomized.Store(tmpl.randomized.Load())
+	r.cycles.Store(tmpl.cycles.Load())
+	if err := r.installStackNatives(nk.RebindNative); err != nil {
+		return nil, fmt.Errorf("rerand: fork: %w", err)
+	}
+	return r, nil
+}
+
+// installStackNatives registers (or, during fork, rebinds) the two
+// stack-substitution natives as closures over this randomizer's pool.
+func (r *Randomizer) installStackNatives(define func(string, uint64, func(*cpu.CPU) error) error) error {
 	// get_new_stack (paper Fig. 3b): save the current stack position in
 	// %rbp, dequeue a stack from the per-CPU list (allocating on demand)
 	// and continue on it. The native also migrates its own return
 	// address, which the calling convention left on the old stack.
-	k.DefineNative(plugin.SymGetNewStack, 40, func(c *cpu.CPU) error {
+	if err := define(plugin.SymGetNewStack, 40, func(c *cpu.CPU) error {
 		ret, err := c.Pop() // return address pushed by the wrapper's call
 		if err != nil {
 			return err
@@ -74,11 +112,13 @@ func New(k *kernel.Kernel) *Randomizer {
 		c.Regs[isa.RBP] = old // %rbp = %rsp (saved old stack)
 		c.Regs[isa.RSP] = top
 		return c.Push(ret)
-	})
+	}); err != nil {
+		return err
+	}
 
 	// return_old_stack: push the (now balanced) stack back on the per-CPU
 	// list and restore the saved position from %rbp.
-	k.DefineNative(plugin.SymReturnOldStack, 40, func(c *cpu.CPU) error {
+	return define(plugin.SymReturnOldStack, 40, func(c *cpu.CPU) error {
 		ret, err := c.Pop()
 		if err != nil {
 			return err
@@ -87,7 +127,6 @@ func New(k *kernel.Kernel) *Randomizer {
 		c.Regs[isa.RSP] = c.Regs[isa.RBP] // restore old stack
 		return c.Push(ret)
 	})
-	return r
 }
 
 // Add registers a module for continuous re-randomization.

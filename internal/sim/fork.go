@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"adelie/internal/bus"
+	"adelie/internal/devices"
+	"adelie/internal/kernel"
+	"adelie/internal/rerand"
+)
+
+// Snapshot freezes the machine as a fork template. A frozen machine
+// refuses Run and Call — its memory image must stay immutable so forks
+// share it copy-on-write — and Fork may then be called any number of
+// times, concurrently. Snapshot requires quiescence: no engine run in
+// progress, no SMR critical section live, and no retired address range
+// still awaiting reclamation (its free closure captures the template's
+// address space). Take the snapshot right after boot + driver load,
+// before any measurement.
+func (m *Machine) Snapshot() error {
+	if m.frozen {
+		return nil
+	}
+	// Validate forkability now (reclaimer scheme + quiescence) so the
+	// error surfaces at snapshot time, not at the first fork. The probe
+	// fork is released immediately so frame refcounts are unchanged.
+	nk, err := m.K.Fork()
+	if err != nil {
+		return fmt.Errorf("sim: snapshot: %w", err)
+	}
+	nk.AS.Phys().Release()
+	m.frozen = true
+	return nil
+}
+
+// Frozen reports whether the machine is a snapshot template.
+func (m *Machine) Frozen() bool { return m.frozen }
+
+// Fork returns a new machine sharing the template's physical frames
+// copy-on-write. The clone is a complete, independent testbed — kernel,
+// address space, devices, bus, interrupt controller, re-randomizer — in
+// the exact state the template froze in: same module bases, same RNG
+// stream position, same device caches, same cycle counters. By the
+// fork-determinism contract it therefore produces bit-identical
+// experiment results to a machine that booted cold into that state.
+// Forking is cheap (no frame copies; the first write to any shared
+// frame pays one page copy) and safe to call concurrently.
+func (m *Machine) Fork() (*Machine, error) {
+	if !m.frozen {
+		return nil, fmt.Errorf("sim: fork: machine is not a snapshot (call Snapshot first)")
+	}
+	nk, err := m.K.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork: %w", err)
+	}
+	nr, err := rerand.Fork(nk, m.R)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork: %w", err)
+	}
+	nvme := m.NVMe.CloneFor(nk.AS)
+	nic := m.NIC.CloneFor(nk.AS)
+	peer := m.Peer.CloneFor(nk.AS)
+	xhci := m.XHCI.Clone()
+	repl := map[bus.Device]bus.Device{m.NVMe: nvme, m.NIC: nic, m.Peer: peer, m.XHCI: xhci}
+	nb, err := m.Bus.CloneFor(nk.AS, func(d bus.Device) bus.Device { return repl[d] })
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork: %w", err)
+	}
+	devices.Connect(nic, peer)
+	nm := &Machine{
+		K: nk, R: nr, Bus: nb,
+		NVMe: nvme, NIC: nic, Peer: peer, XHCI: xhci,
+		mods: make(map[string]*kernel.Module, len(m.mods)),
+	}
+	for name, mod := range m.mods {
+		cloned, ok := nk.Module(mod.Name)
+		if !ok {
+			return nil, fmt.Errorf("sim: fork: module %s missing from forked kernel", mod.Name)
+		}
+		nm.mods[name] = cloned
+	}
+	return nm, nil
+}
+
+// Release drops the machine's copy-on-write references on its physical
+// frames (fork teardown) and returns the number of frame records whose
+// last reference died here. The machine must not be used afterwards.
+func (m *Machine) Release() int64 {
+	return m.K.AS.Phys().Release()
+}

@@ -1,0 +1,160 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"adelie/internal/cpu"
+	"adelie/internal/drivers"
+	"adelie/internal/kernel"
+	"adelie/internal/sim"
+)
+
+func TestForkRequiresSnapshot(t *testing.T) {
+	m := newMachine(t)
+	if _, err := m.Fork(); err == nil {
+		t.Fatal("fork of an unfrozen machine accepted")
+	}
+}
+
+func TestSnapshotFreezesMachine(t *testing.T) {
+	m := newMachine(t)
+	loadDummy(t, m, false)
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Frozen() {
+		t.Fatal("machine not frozen after snapshot")
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatalf("snapshot not idempotent: %v", err)
+	}
+	if _, err := m.Call("dummy_ioctl", 0); err == nil {
+		t.Fatal("frozen machine accepted Call")
+	}
+	if _, err := m.Run(sim.RunConfig{Ops: 1, Workers: 1}, func(c *cpu.CPU) (uint64, error) {
+		return 0, nil
+	}); err == nil {
+		t.Fatal("frozen machine accepted Run")
+	}
+}
+
+func TestForkRunMatchesColdBoot(t *testing.T) {
+	// A fork must produce bit-identical results to a cold-booted machine
+	// of the same configuration — the fork-determinism contract the
+	// parallel sweep runner relies on.
+	cfg := sim.RunConfig{Ops: 300, Workers: 4, RerandPeriodUs: 500, SyscallCycles: 2000}
+	boot := func() *sim.Machine {
+		m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: 5, KASLR: kernel.KASLRFull64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LoadDriver("dummy", drivers.BuildOpts{PIC: true, Rerand: true, RetEncrypt: true}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	run := func(m *sim.Machine) sim.RunResult {
+		va, _ := m.K.Symbol("dummy_ioctl")
+		res, err := m.Run(cfg, func(c *cpu.CPU) (uint64, error) {
+			_, err := c.Call(va, 0)
+			return 0, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cold := run(boot())
+
+	tmpl := boot()
+	if err := tmpl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := tmpl.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := tmpl.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := run(f1), run(f2)
+	if r1 != cold {
+		t.Fatalf("fork diverges from cold boot:\nfork: %+v\ncold: %+v", r1, cold)
+	}
+	if r2 != cold {
+		t.Fatalf("second fork diverges from cold boot:\nfork: %+v\ncold: %+v", r2, cold)
+	}
+	f1.Release()
+	f2.Release()
+}
+
+func TestForkDriverStateIndependent(t *testing.T) {
+	// Each fork gets its own devices and modules: running one fork must
+	// not advance the template's or a sibling's counters.
+	tmpl := newMachine(t)
+	loadDummy(t, tmpl, true)
+	if err := tmpl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := tmpl.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := tmpl.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Module("dummy") == tmpl.Module("dummy") || f1.Module("dummy") == f2.Module("dummy") {
+		t.Fatal("forks share module bookkeeping")
+	}
+	if f1.NVMe == tmpl.NVMe || f1.NIC == f2.NIC {
+		t.Fatal("forks share devices")
+	}
+	va, _ := f1.K.Symbol("dummy_ioctl")
+	if _, err := f1.Run(sim.RunConfig{Ops: 100, Workers: 2, RerandPeriodUs: 100, SyscallCycles: 100_000},
+		func(c *cpu.CPU) (uint64, error) {
+			_, err := c.Call(va, 0)
+			return 0, err
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Module("dummy").Rerandomizations == 0 {
+		t.Fatal("fork's re-randomizer never moved its module")
+	}
+	if got := tmpl.Module("dummy").Rerandomizations; got != 0 {
+		t.Fatalf("template module moved %d times by a fork's run", got)
+	}
+	if got := f2.Module("dummy").Rerandomizations; got != 0 {
+		t.Fatalf("sibling module moved %d times by another fork's run", got)
+	}
+	f1.Release()
+	f2.Release()
+}
+
+func TestForkLatency(t *testing.T) {
+	// The tentpole perf target: forking is orders of magnitude cheaper
+	// than booting. The hard ≤1ms number is tracked by benchtool's
+	// selfbench (fork_us); here we only guard against gross regression.
+	tmpl := newMachine(t)
+	loadDummy(t, tmpl, true)
+	if err := tmpl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const n = 10
+	for i := 0; i < n; i++ {
+		f, err := tmpl.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	per := time.Since(start) / n
+	t.Logf("fork+release latency: %v", per)
+	if per > 50*time.Millisecond {
+		t.Fatalf("fork latency %v, want well under boot cost", per)
+	}
+}

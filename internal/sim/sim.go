@@ -52,7 +52,8 @@ type Machine struct {
 	Peer *devices.NIC // load-generator adapter ("nic1")
 	XHCI *devices.XHCI
 
-	mods map[string]*kernel.Module
+	mods   map[string]*kernel.Module
+	frozen bool // set by Snapshot: machine is a fork template, refuses Run/Call
 }
 
 // NewMachine boots the testbed: kernel, bus, and the Table-1 device set
@@ -117,6 +118,9 @@ func (m *Machine) LoadDriver(name string, o drivers.BuildOpts) (*kernel.Module, 
 
 // Call invokes an exported driver symbol on vCPU 0.
 func (m *Machine) Call(sym string, args ...uint64) (uint64, error) {
+	if m.frozen {
+		return 0, fmt.Errorf("sim: machine is a frozen snapshot template; Fork it to run")
+	}
 	va, ok := m.K.Symbol(sym)
 	if !ok {
 		return 0, fmt.Errorf("sim: symbol %q not exported", sym)
@@ -236,5 +240,8 @@ func (m *Machine) Engine() *engine.Engine {
 // the execution and queueing model and internal/cpu's superblock.go for
 // the link-invalidation contract.
 func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
+	if m.frozen {
+		return RunResult{}, fmt.Errorf("sim: machine is a frozen snapshot template; Fork it to run")
+	}
 	return m.Engine().Run(cfg, op)
 }

@@ -1,6 +1,7 @@
 package smr
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -123,6 +124,28 @@ func (h *Hyaline) Flush() {}
 
 // Stats implements Reclaimer.
 func (h *Hyaline) Stats() Stats { return h.counters.stats() }
+
+// ForkQuiescent implements Forker: it returns a fresh Hyaline with the
+// same slot count and cumulative counters, for a forked machine. Hyaline
+// only holds pending batches while some slot is inside a critical
+// section (Retire with no active readers frees immediately, and the last
+// Leave drains a slot's list), so quiescence — no active readers — is
+// exactly the no-pending-work condition the fork needs.
+func (h *Hyaline) ForkQuiescent() (Reclaimer, error) {
+	for i := range h.slots {
+		s := &h.slots[i]
+		s.mu.Lock()
+		nesting, npending := s.nesting, len(s.pending)
+		s.mu.Unlock()
+		if nesting > 0 || npending > 0 {
+			return nil, fmt.Errorf("smr: fork: slot %d not quiescent (nesting=%d, pending=%d)", i, nesting, npending)
+		}
+	}
+	nh := NewHyaline(len(h.slots))
+	nh.retired.Store(h.retired.Load())
+	nh.freed.Store(h.freed.Load())
+	return nh, nil
+}
 
 // ActiveReaders returns the number of slots currently inside a critical
 // section (used by tests and the re-randomizer's diagnostics).

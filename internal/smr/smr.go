@@ -50,6 +50,15 @@ type Reclaimer interface {
 	Name() string
 }
 
+// Forker is implemented by reclaimers that support machine snapshot/fork:
+// ForkQuiescent returns an independent reclaimer with the same slot
+// layout and cumulative counters, and fails if any critical section is
+// live or any retired block is still awaiting reclamation (a pending
+// free closure captures template state a fork must not share).
+type Forker interface {
+	ForkQuiescent() (Reclaimer, error)
+}
+
 // Stats mirrors the counters Adelie's randomizer kthread logs via dmesg
 // ("SMR Retire", "SMR Free", "SMR Delta" in the artifact appendix).
 type Stats struct {

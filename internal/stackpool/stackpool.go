@@ -176,6 +176,31 @@ func (p *Pool) Release(tops []uint64) error {
 	return nil
 }
 
+// Clone returns a copy of the pool for a forked machine: same queued
+// stacks (the top-of-stack VAs are valid in the fork's address space —
+// forking preserves all mappings), same node registry, same counters,
+// but allocating and freeing through the fork kernel's callbacks. The
+// template must be quiescent (no concurrent Get/Put) while cloning.
+func (p *Pool) Clone(alloc AllocFunc, free FreeFunc) *Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := &Pool{
+		alloc:    alloc,
+		free:     free,
+		heads:    make([]atomic.Uint64, len(p.heads)),
+		nodes:    append([]node(nil), p.nodes...),
+		freeList: append([]uint32(nil), p.freeList...),
+	}
+	for i := range p.heads {
+		n.heads[i].Store(p.heads[i].Load())
+	}
+	n.allocs.Store(p.allocs.Load())
+	n.frees.Store(p.frees.Load())
+	n.gets.Store(p.gets.Load())
+	n.puts.Store(p.puts.Load())
+	return n
+}
+
 // Stats returns cumulative counters.
 func (p *Pool) Stats() Stats {
 	return Stats{

@@ -46,9 +46,66 @@ func (p Params) Set(name string, v int64) error {
 func (p Params) SetString(name, val string) error {
 	v, err := strconv.ParseInt(val, 10, 64)
 	if err != nil {
+		if strings.Contains(val, "..") {
+			return fmt.Errorf("parameter %q: %q is a range — ranges sweep one table per point and are expanded by the runner, not set as a single value", name, val)
+		}
 		return fmt.Errorf("parameter %q: %q is not an integer", name, val)
 	}
 	return p.Set(name, v)
+}
+
+// Clone returns an independent copy: Set on the clone leaves the
+// original untouched. Sweep points each get their own.
+func (p Params) Clone() Params {
+	vals := make(map[string]int64, len(p.vals))
+	for k, v := range p.vals {
+		vals[k] = v
+	}
+	return Params{exp: p.exp, vals: vals}
+}
+
+// maxRangePoints caps how many values one -p range may expand to; past
+// this a sweep is almost certainly a typo ("1..1600" for "1600").
+const maxRangePoints = 4096
+
+// ParseRange parses benchtool's sweep syntax "lo..hi[:step]" into its
+// individual values, inclusive on both ends (a short final step lands on
+// the last value ≤ hi). The bool reports whether val uses range syntax
+// at all; plain integers return (nil, false, nil) so callers fall back
+// to SetString.
+func ParseRange(val string) ([]int64, bool, error) {
+	i := strings.Index(val, "..")
+	if i < 1 { // no ".." (or nothing before it: "..8" is not a range)
+		return nil, false, nil
+	}
+	rest := val[i+2:]
+	step := int64(1)
+	if j := strings.IndexByte(rest, ':'); j >= 0 {
+		s, err := strconv.ParseInt(rest[j+1:], 10, 64)
+		if err != nil || s <= 0 {
+			return nil, true, fmt.Errorf("range %q: step %q must be a positive integer", val, rest[j+1:])
+		}
+		step, rest = s, rest[:j]
+	}
+	lo, err := strconv.ParseInt(val[:i], 10, 64)
+	if err != nil {
+		return nil, true, fmt.Errorf("range %q: bad lower bound %q", val, val[:i])
+	}
+	hi, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return nil, true, fmt.Errorf("range %q: bad upper bound %q", val, rest)
+	}
+	if hi < lo {
+		return nil, true, fmt.Errorf("range %q: upper bound below lower", val)
+	}
+	if (hi-lo)/step+1 > maxRangePoints {
+		return nil, true, fmt.Errorf("range %q expands to more than %d points", val, maxRangePoints)
+	}
+	var out []int64
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out, true, nil
 }
 
 // Int returns a parameter as int; asking for an undeclared parameter is a

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"adelie/internal/sim"
+)
+
+// Parameter sweeps: run one experiment once per value of a -p range
+// ("ops=100..1600:250"), producing one Table per point. The parallel
+// path fans points across a worker pool and serves machine boots from a
+// snapshot/fork template pool — every machine an experiment would
+// cold-boot is instead forked copy-on-write from a booted, frozen
+// template of the same (config, seed, drivers) key. Forks are
+// bit-identical to cold boots (sim's fork-determinism contract), so
+// serial and parallel sweeps must render byte-identical output; CI
+// diffs the two modes on every push.
+
+// poolKey identifies one bootable machine shape.
+type poolKey struct {
+	cfg     Config
+	seed    int64
+	drivers string
+}
+
+// forkPool caches frozen snapshot templates while a parallel sweep (or
+// any caller of EnableForkPool) is active. Disabled, newMachine boots
+// cold and the pool costs one atomic load.
+var forkPool struct {
+	on   atomic.Bool
+	mu   sync.Mutex
+	tmpl map[poolKey]*sim.Machine
+}
+
+// EnableForkPool turns on snapshot/fork boot caching: until
+// DisableForkPool, every newMachine call forks a pooled template
+// instead of cold-booting (falling back to a cold boot if the machine
+// shape cannot fork, e.g. under a reclaimer without fork support).
+func EnableForkPool() {
+	forkPool.mu.Lock()
+	defer forkPool.mu.Unlock()
+	if forkPool.tmpl == nil {
+		forkPool.tmpl = map[poolKey]*sim.Machine{}
+	}
+	forkPool.on.Store(true)
+}
+
+// DisableForkPool turns boot caching back off and releases every
+// template's copy-on-write frame references.
+func DisableForkPool() {
+	forkPool.mu.Lock()
+	defer forkPool.mu.Unlock()
+	forkPool.on.Store(false)
+	for _, m := range forkPool.tmpl {
+		m.Release()
+	}
+	forkPool.tmpl = nil
+}
+
+// poolFork serves one machine from the template pool, booting and
+// freezing the template on first use of its key. ok is false when the
+// pool is off or this shape cannot fork — the caller cold-boots.
+func poolFork(c Config, seed int64, driverNames []string) (*sim.Machine, bool) {
+	if !forkPool.on.Load() {
+		return nil, false
+	}
+	forkPool.mu.Lock()
+	defer forkPool.mu.Unlock()
+	if forkPool.tmpl == nil { // disabled between the atomic check and the lock
+		return nil, false
+	}
+	key := poolKey{c, seed, strings.Join(driverNames, ",")}
+	tmpl, ok := forkPool.tmpl[key]
+	if !ok {
+		m, err := bootMachine(c, seed, driverNames...)
+		if err != nil {
+			return nil, false // let the cold path surface the boot error
+		}
+		if err := m.Snapshot(); err != nil {
+			return nil, false // unforkable shape: cold boots from here on
+		}
+		forkPool.tmpl[key] = m
+		tmpl = m
+	}
+	f, err := tmpl.Fork()
+	if err != nil {
+		return nil, false
+	}
+	return f, true
+}
+
+// SweepPoint is one completed point of a parameter sweep.
+type SweepPoint struct {
+	Param string
+	Value int64
+	Table *Table
+}
+
+// RunSweep runs the experiment once per value of the named parameter,
+// returning the points in value order. Serial mode runs them one after
+// another on cold-booted machines — the reference behavior. Parallel
+// mode fans the points across up to workers goroutines (default: one
+// per host core) with boots served by the fork pool; its tables must be
+// bit-identical to serial mode's, point for point.
+func RunSweep(e *Experiment, base Params, param string, values []int64, parallel bool, workers int) ([]SweepPoint, error) {
+	pts := make([]SweepPoint, len(values))
+	runPoint := func(i int) error {
+		p := base.Clone()
+		if err := p.Set(param, values[i]); err != nil {
+			return err
+		}
+		tab, err := e.Run(p)
+		if err != nil {
+			return fmt.Errorf("%s -p %s=%d: %w", e.Name, param, values[i], err)
+		}
+		pts[i] = SweepPoint{Param: param, Value: values[i], Table: tab}
+		return nil
+	}
+
+	if !parallel {
+		for i := range values {
+			if err := runPoint(i); err != nil {
+				return nil, err
+			}
+		}
+		return pts, nil
+	}
+
+	EnableForkPool()
+	defer DisableForkPool()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(values) {
+		workers = len(values)
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(values) {
+					return
+				}
+				if err := runPoint(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pts, nil
+}

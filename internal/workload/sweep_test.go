@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+		rng  bool
+		err  bool
+	}{
+		{"100..400:100", []int64{100, 200, 300, 400}, true, false},
+		{"1..5", []int64{1, 2, 3, 4, 5}, true, false},
+		{"7..7", []int64{7}, true, false},
+		{"0..10:4", []int64{0, 4, 8}, true, false}, // short final step
+		{"-4..-2", []int64{-4, -3, -2}, true, false},
+		{"42", nil, false, false}, // plain integer: not a range
+		{"", nil, false, false},
+		{"..8", nil, false, false}, // nothing before "..": not a range
+		{"5..1", nil, true, true},  // descending
+		{"1..10:0", nil, true, true},
+		{"1..10:-2", nil, true, true},
+		{"a..10", nil, true, true},
+		{"1..b", nil, true, true},
+		{"0..1000000", nil, true, true}, // past the point cap
+	}
+	for _, c := range cases {
+		got, rng, err := ParseRange(c.in)
+		if rng != c.rng || (err != nil) != c.err || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseRange(%q) = %v, %v, %v; want %v, %v, err=%v",
+				c.in, got, rng, err, c.want, c.rng, c.err)
+		}
+	}
+}
+
+// TestRegistryForkPoolEquivalent is the tentpole's correctness contract,
+// registry-wide: every experiment must produce a bit-identical Table
+// when its machines are copy-on-write forks of a booted template instead
+// of cold boots. This is what licenses the parallel sweep runner (and
+// CI's serial-vs-parallel diff) to exist.
+func TestRegistryForkPoolEquivalent(t *testing.T) {
+	for _, e := range Experiments.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			run := func() (*Table, string) {
+				p := e.Params(true)
+				for k, v := range determinismOverrides[e.Name] {
+					if err := p.Set(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tab, err := e.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				tab.Fprint(&buf)
+				return tab, buf.String()
+			}
+			cold, coldOut := run()
+			EnableForkPool()
+			defer DisableForkPool()
+			forked, forkedOut := run()
+			if !reflect.DeepEqual(cold, forked) {
+				t.Errorf("fork-pool table diverges from cold boot:\n%+v\n%+v", cold, forked)
+			}
+			if coldOut != forkedOut {
+				t.Errorf("fork-pool rendering diverges from cold boot:\n%s\n---\n%s", coldOut, forkedOut)
+			}
+		})
+	}
+}
+
+// TestSweepForkParallelMatchesSerial: the two sweep modes must render
+// byte-identical tables point for point — the same check CI's sweep
+// gate runs from benchtool.
+func TestSweepForkParallelMatchesSerial(t *testing.T) {
+	e, ok := Experiments.Lookup("fig5b")
+	if !ok {
+		t.Fatal("fig5b not registered")
+	}
+	values := []int64{50, 100, 150, 200}
+	sweep := func(parallel bool) string {
+		pts, err := RunSweep(e, e.Params(true), "ops", values, parallel, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, pt := range pts {
+			if pt.Table == nil {
+				t.Fatalf("missing point %d", pt.Value)
+			}
+			pt.Table.Fprint(&buf)
+		}
+		return buf.String()
+	}
+	serial := sweep(false)
+	parallel := sweep(true)
+	if serial != parallel {
+		t.Fatalf("parallel sweep output diverges from serial:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestForkPoolFallsBackOnColdBoot: a shape the pool cannot serve (here:
+// simply disabling the pool mid-flight) must still boot — and pooled
+// boots must actually hit the pool (the template map fills).
+func TestForkPoolTemplatesReused(t *testing.T) {
+	EnableForkPool()
+	defer DisableForkPool()
+	m1, err := newMachine(CfgPICRet, 999, "dummy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := newMachine(CfgPICRet, 999, "dummy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("pool handed out the same machine twice")
+	}
+	if m1.Frozen() || m2.Frozen() {
+		t.Fatal("pool handed out the frozen template itself")
+	}
+	forkPool.mu.Lock()
+	n := len(forkPool.tmpl)
+	forkPool.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("pool holds %d templates, want 1 (same key reused)", n)
+	}
+	m1.Release()
+	m2.Release()
+}

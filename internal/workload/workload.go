@@ -55,9 +55,27 @@ func kaslrFor(c Config) kernel.KASLRMode {
 	return kernel.KASLRFull64
 }
 
-// newMachine boots a testbed for the configuration and loads the listed
-// drivers under it.
+// newMachine provides a booted testbed for the configuration with the
+// listed drivers loaded. Normally that is a cold boot; while a parallel
+// sweep has the fork pool enabled it is a copy-on-write fork of a frozen
+// template — indistinguishable by the fork-determinism contract.
 func newMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, error) {
+	if m, ok := poolFork(c, seed, driverNames); ok {
+		return m, nil
+	}
+	return bootMachine(c, seed, driverNames...)
+}
+
+// NewBenchMachine is the exported machine factory for harness
+// benchmarks (benchtool selfbench measures snapshot/fork latency on the
+// same machine shape the figures boot). It behaves exactly like the
+// experiments' internal factory, fork pool included.
+func NewBenchMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, error) {
+	return newMachine(c, seed, driverNames...)
+}
+
+// bootMachine cold-boots a testbed and loads the listed drivers.
+func bootMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, error) {
 	m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: seed, KASLR: kaslrFor(c)})
 	if err != nil {
 		return nil, err
