@@ -52,6 +52,21 @@ type IRQDevice interface {
 	ConnectIRQ(line *Line, now func() uint64)
 }
 
+// MSIXDevice is a Device with an MSI-X-style vector table: it raises
+// NumVectors independent lines (one per queue), each individually
+// routable to a target vCPU. The bus allocates the vectors as
+// consecutive controller lines in attach order, so a device's vector v
+// is always line base+v and the map stays a pure function of the attach
+// sequence. Checked before IRQDevice at Attach time, so a device
+// implementing both connects through its vector table.
+type MSIXDevice interface {
+	Device
+	// NumVectors is the vector-table size; must be >= 1.
+	NumVectors() int
+	// ConnectVectors hands the device its lines, index = vector number.
+	ConnectVectors(lines []*Line, now func() uint64)
+}
+
 // EpochDevice is a device with round-granular (epoch) state semantics:
 // between BeginEpoch and EndEpoch, reads of modeled device state (e.g.
 // the NVMe controller's DRAM-cache contents) observe the epoch-start
@@ -75,9 +90,10 @@ type Ticker interface {
 const windowStride = 16 * mm.PageSize
 
 type attached struct {
-	dev  Device
-	base uint64
-	line int // IRQ line, -1 if none
+	dev   Device
+	base  uint64
+	line  int   // first IRQ line (vector 0), -1 if none
+	lines []int // all vector lines, in vector order; nil if none
 }
 
 // Bus allocates MMIO windows, owns the interrupt controller, and keeps
@@ -124,9 +140,24 @@ func (b *Bus) Attach(d Device) (uint64, error) {
 	b.next += stride
 
 	a := attached{dev: d, base: base, line: -1}
-	if irqd, ok := d.(IRQDevice); ok {
+	switch dd := d.(type) {
+	case MSIXDevice:
+		nv := dd.NumVectors()
+		if nv < 1 {
+			nv = 1
+		}
+		lines := make([]*Line, nv)
+		for v := range lines {
+			n := b.ic.addLine()
+			lines[v] = &Line{n: n, ic: b.ic}
+			a.lines = append(a.lines, n)
+		}
+		a.line = a.lines[0]
+		dd.ConnectVectors(lines, b.Now)
+	case IRQDevice:
 		a.line = b.ic.addLine()
-		irqd.ConnectIRQ(&Line{n: a.line, ic: b.ic}, b.Now)
+		a.lines = []int{a.line}
+		dd.ConnectIRQ(&Line{n: a.line, ic: b.ic}, b.Now)
 	}
 	b.devs = append(b.devs, a)
 	b.byName[name] = a
@@ -148,7 +179,8 @@ func (b *Bus) Base(name string) (uint64, bool) {
 }
 
 // IRQLine returns the interrupt line of the named device (-1 if the
-// device has no line or is not attached).
+// device has no line or is not attached). For an MSI-X device this is
+// vector 0's line.
 func (b *Bus) IRQLine(name string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -156,6 +188,17 @@ func (b *Bus) IRQLine(name string) int {
 		return a.line
 	}
 	return -1
+}
+
+// IRQLines returns every interrupt line of the named device in vector
+// order (nil if the device has no lines or is not attached).
+func (b *Bus) IRQLines(name string) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a, ok := b.byName[name]; ok {
+		return append([]int(nil), a.lines...)
+	}
+	return nil
 }
 
 // Devices returns the attached devices in attach order.
@@ -231,22 +274,28 @@ func (l *Line) Assert(pendingSince uint64) { l.ic.raise(l.n, pendingSince) }
 type PendingIRQ struct {
 	Line  int
 	Since uint64 // earliest pendingSince across the raises being coalesced
+	VCPU  int    // route target at drain time (vector-table entry)
 }
 
 // DeliveredIRQ is one ISR dispatch, recorded for determinism audits.
 type DeliveredIRQ struct {
 	Line    int
+	VCPU    int // the vCPU the ISR ran on
 	AtCycle uint64
 	Handled bool
 }
 
 // IntController collects lines raised during a round and hands them to
-// the engine at the barrier, in ascending line order. It also keeps the
-// delivery trace and per-line latency sums the coalescing figures read.
+// the engine at the barrier, in ascending line order. Each line carries
+// a route — the vector-table entry naming its target vCPU (default 0) —
+// which TakePending stamps onto the drained set so the engine can group
+// delivery per lane. It also keeps the delivery trace and per-line
+// latency sums the coalescing figures read.
 type IntController struct {
 	mu      sync.Mutex
 	lines   int
 	pending map[int]uint64 // line → earliest pendingSince
+	routes  []int          // line → target vCPU (the vector table)
 
 	raised    []uint64 // per line
 	delivered []uint64
@@ -269,7 +318,31 @@ func (ic *IntController) addLine() int {
 	ic.delivered = append(ic.delivered, 0)
 	ic.spurious = append(ic.spurious, 0)
 	ic.latSum = append(ic.latSum, 0)
+	ic.routes = append(ic.routes, 0)
 	return n
+}
+
+// SetRoute points a line's vector-table entry at a target vCPU.
+// Unknown lines and negative targets are ignored: the route table only
+// covers allocated vectors, and the engine clamps out-of-range targets
+// to the booted vCPU count at delivery time.
+func (ic *IntController) SetRoute(line, vcpu int) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if line < 0 || line >= len(ic.routes) || vcpu < 0 {
+		return
+	}
+	ic.routes[line] = vcpu
+}
+
+// Route returns a line's current target vCPU (0 for unknown lines).
+func (ic *IntController) Route(line int) int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if line < 0 || line >= len(ic.routes) {
+		return 0
+	}
+	return ic.routes[line]
 }
 
 // raise marks a line pending. Repeated raises before delivery coalesce,
@@ -295,7 +368,7 @@ func (ic *IntController) TakePending() []PendingIRQ {
 	}
 	out := make([]PendingIRQ, 0, len(ic.pending))
 	for line, since := range ic.pending {
-		out = append(out, PendingIRQ{Line: line, Since: since})
+		out = append(out, PendingIRQ{Line: line, Since: since, VCPU: ic.routes[line]})
 	}
 	clear(ic.pending)
 	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
@@ -315,7 +388,7 @@ func (ic *IntController) NoteDelivered(p PendingIRQ, atCycle uint64, handled boo
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
 	if len(ic.trace) < traceCap {
-		ic.trace = append(ic.trace, DeliveredIRQ{Line: p.Line, AtCycle: atCycle, Handled: handled})
+		ic.trace = append(ic.trace, DeliveredIRQ{Line: p.Line, VCPU: p.VCPU, AtCycle: atCycle, Handled: handled})
 	}
 	if handled {
 		ic.delivered[p.Line]++

@@ -31,9 +31,20 @@ func (b *Bus) CloneFor(as *mm.AddressSpace, replace func(Device) Device) (*Bus, 
 		if err := as.RebindMMIO(a.base, nd); err != nil {
 			return nil, fmt.Errorf("bus: clone: %q: %w", nd.DevName(), err)
 		}
-		na := attached{dev: nd, base: a.base, line: a.line}
-		if irqd, ok := nd.(IRQDevice); ok && a.line >= 0 {
-			irqd.ConnectIRQ(&Line{n: a.line, ic: nb.ic}, nb.Now)
+		na := attached{dev: nd, base: a.base, line: a.line, lines: append([]int(nil), a.lines...)}
+		switch dd := nd.(type) {
+		case MSIXDevice:
+			if len(na.lines) > 0 {
+				lines := make([]*Line, len(na.lines))
+				for v, n := range na.lines {
+					lines[v] = &Line{n: n, ic: nb.ic}
+				}
+				dd.ConnectVectors(lines, nb.Now)
+			}
+		case IRQDevice:
+			if a.line >= 0 {
+				dd.ConnectIRQ(&Line{n: a.line, ic: nb.ic}, nb.Now)
+			}
 		}
 		nb.devs = append(nb.devs, na)
 		nb.byName[nd.DevName()] = na
@@ -57,6 +68,7 @@ func (ic *IntController) clone() *IntController {
 		delivered: append([]uint64(nil), ic.delivered...),
 		spurious:  append([]uint64(nil), ic.spurious...),
 		latSum:    append([]uint64(nil), ic.latSum...),
+		routes:    append([]int(nil), ic.routes...),
 		trace:     append([]DeliveredIRQ(nil), ic.trace...),
 	}
 	for line, since := range ic.pending {

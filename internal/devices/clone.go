@@ -17,19 +17,21 @@ func (d *NVMe) CloneFor(as *mm.AddressSpace) *NVMe {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	nd := &NVMe{
-		as:          as,
-		sqBase:      d.sqBase,
-		cqBase:      d.cqBase,
-		sqHead:      d.sqHead,
-		lastLatency: d.lastLatency,
-		media:       make(map[uint64][]byte, len(d.media)),
-		cachedLBA:   make(map[uint64]bool, len(d.cachedLBA)),
-		cacheFIFO:   append([]uint64(nil), d.cacheFIFO...),
-		cacheCap:    d.cacheCap,
-		pendingSet:  map[uint64]bool{},
-		Reads:       d.Reads,
-		Writes:      d.Writes,
-		CacheHits:   d.CacheHits,
+		as:           as,
+		sqBase:       d.sqBase,
+		cqBase:       d.cqBase,
+		sqHead:       d.sqHead,
+		lastLatency:  d.lastLatency,
+		media:        make(map[uint64][]byte, len(d.media)),
+		cachedLBA:    make(map[uint64]bool, len(d.cachedLBA)),
+		cacheFIFO:    append([]uint64(nil), d.cacheFIFO...),
+		cacheCap:     d.cacheCap,
+		pendingSet:   map[uint64]bool{},
+		intEnabled:   d.intEnabled,
+		Reads:        d.Reads,
+		Writes:       d.Writes,
+		CacheHits:    d.CacheHits,
+		IRQsAsserted: d.IRQsAsserted,
 	}
 	for lba, blk := range d.media {
 		nd.media[lba] = append([]byte(nil), blk...)
@@ -42,31 +44,31 @@ func (d *NVMe) CloneFor(as *mm.AddressSpace) *NVMe {
 
 // CloneFor returns a copy of the adapter attached to as. The peer link
 // and IRQ wiring are machine-level topology and are NOT copied: the bus
-// clone re-runs ConnectIRQ with the fork's interrupt controller, and
-// sim.Machine.Fork re-Connects the cloned server/load-generator pair.
+// clone re-runs ConnectVectors with the fork's interrupt controller,
+// and sim.Machine.Fork re-Connects the cloned server/load-generator
+// pair. Per-queue ring, mask and coalescing state carries over.
 func (n *NIC) CloneFor(as *mm.AddressSpace) *NIC {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	nn := &NIC{
-		as:             as,
-		Name:           n.Name,
-		txRing:         n.txRing,
-		rxRing:         n.rxRing,
-		ringLen:        n.ringLen,
-		rxTail:         n.rxTail,
-		hostRxCap:      n.hostRxCap,
-		intMasked:      n.intMasked,
-		pendingIRQ:     n.pendingIRQ,
-		firstPending:   n.firstPending,
-		coalesceFrames: n.coalesceFrames,
-		coalesceDelay:  n.coalesceDelay,
-		TxFrames:       n.TxFrames,
-		RxFrames:       n.RxFrames,
-		TxBytes:        n.TxBytes,
-		RxBytes:        n.RxBytes,
-		Dropped:        n.Dropped,
-		HostConsumed:   n.HostConsumed,
-		IRQsAsserted:   n.IRQsAsserted,
+		as:           as,
+		Name:         n.Name,
+		txRing:       n.txRing,
+		ringLen:      n.ringLen,
+		hostRxCap:    n.hostRxCap,
+		TxFrames:     n.TxFrames,
+		RxFrames:     n.RxFrames,
+		TxBytes:      n.TxBytes,
+		RxBytes:      n.RxBytes,
+		Dropped:      n.Dropped,
+		HostConsumed: n.HostConsumed,
+		IRQsAsserted: n.IRQsAsserted,
+	}
+	nn.queues = make([]*nicQueue, len(n.queues))
+	for i, q := range n.queues {
+		cq := *q
+		cq.irq = nil // rewired by the bus clone
+		nn.queues[i] = &cq
 	}
 	if n.hostRx != nil {
 		nn.hostRx = make([][]byte, len(n.hostRx))

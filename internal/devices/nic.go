@@ -7,19 +7,24 @@ import (
 	"adelie/internal/mm"
 )
 
-// NIC is an E1000E-flavoured ring-buffer network adapter. The driver
-// publishes descriptor rings (VA + length + head/tail indexes), rings a
-// doorbell to transmit, and reads received frames out of the RX ring.
-// Frames transmitted on one NIC appear on its peer's RX ring (or loop
-// back), with a 1 GbE wire bandwidth that the simulator accounts as the
-// throughput ceiling Fig. 7/8 observe (~110 MB/s).
+// NIC is an E1000E-flavoured ring-buffer network adapter with up to
+// MaxNICQueues receive queues. The driver publishes descriptor rings
+// (VA + length + head/tail indexes), rings a doorbell to transmit, and
+// reads received frames out of the RX rings. Frames transmitted on one
+// NIC appear on its peer's RX side (or loop back), steered to a queue
+// by a deterministic RSS hash over the frame bytes, with a 1 GbE wire
+// bandwidth that the simulator accounts as the throughput ceiling
+// Fig. 7/8 observe (~110 MB/s).
 //
-// The NIC is a bus.IRQDevice: when the bus wires a line, RX delivery
-// into the driver ring asserts it under the configured coalescing
-// policy (SetCoalescing), and the driver's NAPI-style ISR masks the
-// line via NICRegIntCtl, drains the ring, and unmasks. Frames delivered
-// while no line is wired (or to the host-driven load-generator side)
-// never interrupt.
+// The NIC is a bus.MSIXDevice: the bus wires one vector (line) per
+// queue, RX delivery into a queue's ring asserts that queue's line
+// under the queue's coalescing policy (SetCoalescing), and the driver's
+// NAPI-style ISR masks the queue via its IntCtl register, drains the
+// ring, and unmasks. Queue 0 doubles as the legacy single-queue device:
+// its ring, head and mask registers alias the original register map, so
+// a single-queue NIC is bit-identical to the pre-multi-queue one.
+// Frames delivered while no line is wired (or to the host-driven
+// load-generator side) never interrupt.
 type NIC struct {
 	mu sync.Mutex
 	as *mm.AddressSpace
@@ -28,9 +33,11 @@ type NIC struct {
 	// the server/load-generator pair of Table 1).
 	Name string
 
-	txRing, rxRing uint64 // descriptor ring base VAs
-	ringLen        uint64 // descriptors per ring
-	rxTail         uint64 // next RX slot the device fills
+	txRing  uint64 // TX descriptor ring base VA
+	ringLen uint64 // descriptors per ring (TX and every RX ring)
+
+	queues []*nicQueue // RX queues; len >= 1, queue 0 = legacy registers
+	clock  func() uint64
 
 	peer *NIC // nil = loopback
 
@@ -43,37 +50,56 @@ type NIC struct {
 	hostRx    [][]byte
 	hostRxCap int
 
-	// Interrupt state. The bus assigns irq and the clock reader; the
-	// guest masks/unmasks through NICRegIntCtl. pendingIRQ counts frames
-	// delivered since the last assert; firstPending timestamps the
-	// oldest of them (virtual cycles) for the coalescing delay and the
-	// controller's latency accounting.
-	irq            *bus.Line
-	clock          func() uint64
-	intMasked      bool
-	pendingIRQ     uint64
-	firstPending   uint64
-	coalesceFrames uint64 // assert once this many frames are pending
-	coalesceDelay  uint64 // or once the oldest has waited this many cycles
-
 	TxFrames, RxFrames, TxBytes, RxBytes uint64
 	Dropped                              uint64
 	HostConsumed                         uint64 // load-generator frames consumed past the cap
 	IRQsAsserted                         uint64
 }
 
+// nicQueue is one RX queue: a descriptor ring plus its MSI-X vector and
+// coalescing state. The bus assigns irq; the guest masks/unmasks
+// through the queue's IntCtl register. pendingIRQ counts frames
+// delivered since the last assert; firstPending timestamps the oldest
+// of them (virtual cycles) for the coalescing delay and the
+// controller's latency accounting.
+type nicQueue struct {
+	rxRing uint64 // descriptor ring base VA; 0 = not programmed
+	rxTail uint64 // next RX slot the device fills
+
+	irq            *bus.Line
+	intMasked      bool
+	pendingIRQ     uint64
+	firstPending   uint64
+	coalesceFrames uint64 // assert once this many frames are pending
+	coalesceDelay  uint64 // or once the oldest has waited this many cycles
+
+	RxFrames uint64 // frames steered into this queue's ring
+}
+
+// MaxNICQueues bounds the RSS queue count (the vector-table size).
+const MaxNICQueues = 8
+
 // WireBytesPerSec is the 1 GbE line rate (≈110 MB/s of goodput, the
 // ceiling visible in the paper's Fig. 7/8 network numbers).
 const WireBytesPerSec = 110e6
 
-// NIC MMIO register map.
+// NIC MMIO register map. The scalar registers alias queue 0, keeping
+// single-queue drivers unchanged; per-queue register blocks start at
+// NICRegQueueBase, one NICRegQueueStride-sized block per queue (queue
+// 0's block aliases the scalar registers too).
 const (
 	NICRegTxRing     = 0x00 // TX descriptor ring base VA
-	NICRegRxRing     = 0x08 // RX descriptor ring base VA
+	NICRegRxRing     = 0x08 // queue 0 RX descriptor ring base VA
 	NICRegRingLen    = 0x10 // descriptors per ring
 	NICRegTxDoorbell = 0x18 // write: TX slot to send
-	NICRegRxHead     = 0x20 // read: next filled RX slot count
-	NICRegIntCtl     = 0x28 // write 1: mask the RX interrupt (IMC); write 0: unmask (IMS); read: mask state
+	NICRegRxHead     = 0x20 // read: queue 0 next filled RX slot count
+	NICRegIntCtl     = 0x28 // write 1: mask queue 0's interrupt (IMC); write 0: unmask (IMS); read: mask state
+
+	NICRegQueueBase   = 0x40 // per-queue register blocks start here
+	NICRegQueueStride = 0x20 // bytes per queue block
+	NICRegQRxRing     = 0x00 // block + 0x00: RX descriptor ring base VA
+	NICRegQRxHead     = 0x08 // block + 0x08: next filled RX slot count (read)
+	NICRegQIntCtl     = 0x10 // block + 0x10: mask/unmask this queue's vector
 )
 
 // Descriptor layout (2 words): buffer VA, byte length. A zero length
@@ -83,9 +109,10 @@ const (
 // (load-generator) adapter.
 const DefaultHostRxCap = 1024
 
-// NewNIC creates an adapter DMA-attached to as.
+// NewNIC creates a single-queue adapter DMA-attached to as.
 func NewNIC(as *mm.AddressSpace) *NIC {
-	return &NIC{as: as, Name: "nic", hostRxCap: DefaultHostRxCap, coalesceFrames: 1}
+	return &NIC{as: as, Name: "nic", hostRxCap: DefaultHostRxCap,
+		queues: []*nicQueue{{coalesceFrames: 1}}}
 }
 
 // DevName implements bus.Device.
@@ -94,37 +121,95 @@ func (n *NIC) DevName() string { return n.Name }
 // DevPages implements bus.Device.
 func (n *NIC) DevPages() int { return 1 }
 
-// ConnectIRQ implements bus.IRQDevice: the bus hands the adapter its
-// line and a reader for the barrier-published virtual clock.
+// SetQueues sizes the RSS queue set (clamped to [1, MaxNICQueues]).
+// Must be called before the adapter is attached to a bus: the queue
+// count is the MSI-X vector-table size the bus allocates lines for.
+func (n *NIC) SetQueues(count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if count < 1 {
+		count = 1
+	}
+	if count > MaxNICQueues {
+		count = MaxNICQueues
+	}
+	n.queues = make([]*nicQueue, count)
+	for i := range n.queues {
+		n.queues[i] = &nicQueue{coalesceFrames: 1}
+	}
+}
+
+// NumQueues returns the RSS queue count.
+func (n *NIC) NumQueues() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queues)
+}
+
+// NumVectors implements bus.MSIXDevice: one vector per RX queue.
+func (n *NIC) NumVectors() int { return n.NumQueues() }
+
+// ConnectVectors implements bus.MSIXDevice: the bus hands the adapter
+// one line per queue plus a reader for the barrier-published virtual
+// clock.
+func (n *NIC) ConnectVectors(lines []*bus.Line, now func() uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = now
+	for i, q := range n.queues {
+		if i < len(lines) {
+			q.irq = lines[i]
+		}
+	}
+}
+
+// ConnectIRQ wires a single line to queue 0 — the legacy IRQDevice
+// shape, kept for direct (non-bus) wiring in tests.
 func (n *NIC) ConnectIRQ(l *bus.Line, now func() uint64) {
 	n.mu.Lock()
-	n.irq, n.clock = l, now
+	n.queues[0].irq, n.clock = l, now
 	n.mu.Unlock()
 }
 
-// IRQLine returns the bus line number wired to this adapter (-1 if
-// none).
-func (n *NIC) IRQLine() int {
+// IRQLine returns the bus line number wired to queue 0 (-1 if none).
+func (n *NIC) IRQLine() int { return n.QueueIRQLine(0) }
+
+// QueueIRQLine returns the bus line number wired to a queue's vector
+// (-1 if none).
+func (n *NIC) QueueIRQLine(q int) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.irq == nil {
+	if q < 0 || q >= len(n.queues) || n.queues[q].irq == nil {
 		return -1
 	}
-	return n.irq.Num()
+	return n.queues[q].irq.Num()
 }
 
-// SetCoalescing configures interrupt moderation: the line asserts once
-// maxFrames frames are pending, or — checked at clock boundaries — once
-// the oldest pending frame has waited delayCycles. maxFrames <= 1 means
-// assert per frame; delayCycles == 0 makes every clock boundary flush
-// whatever is pending.
+// QueueRxFrames returns how many frames RSS steered into a queue.
+func (n *NIC) QueueRxFrames(q int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q < 0 || q >= len(n.queues) {
+		return 0
+	}
+	return n.queues[q].RxFrames
+}
+
+// SetCoalescing configures interrupt moderation on every queue: a
+// queue's line asserts once maxFrames frames are pending on it, or —
+// checked at clock boundaries — once its oldest pending frame has
+// waited delayCycles. maxFrames <= 1 means assert per frame;
+// delayCycles == 0 makes every clock boundary flush whatever is
+// pending.
 func (n *NIC) SetCoalescing(maxFrames, delayCycles uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if maxFrames == 0 {
 		maxFrames = 1
 	}
-	n.coalesceFrames, n.coalesceDelay = maxFrames, delayCycles
+	for _, q := range n.queues {
+		q.coalesceFrames, q.coalesceDelay = maxFrames, delayCycles
+	}
 }
 
 // SetHostRxCap bounds the host-side capture queue (load-generator
@@ -138,48 +223,51 @@ func (n *NIC) SetHostRxCap(cap int) {
 	n.hostRxCap = cap
 }
 
-// Tick implements bus.Ticker: at a clock boundary, assert the line if
-// the oldest pending frame has exceeded the coalescing delay (or
-// unconditionally on the final force tick of a measurement).
+// Tick implements bus.Ticker: at a clock boundary, assert any queue
+// whose oldest pending frame has exceeded its coalescing delay (or
+// every pending queue unconditionally on the final force tick of a
+// measurement), in queue order.
 func (n *NIC) Tick(nowCycles uint64, force bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.pendingIRQ == 0 {
-		return
-	}
-	if force || nowCycles-n.firstPending >= n.coalesceDelay {
-		n.assertIRQLocked()
-	}
-}
-
-// noteRxLocked records one frame landing in the driver ring and applies
-// the frame-count coalescing threshold. Caller holds n.mu.
-func (n *NIC) noteRxLocked() {
-	if n.irq == nil {
-		return
-	}
-	if n.pendingIRQ == 0 {
-		if n.clock != nil {
-			n.firstPending = n.clock()
-		} else {
-			n.firstPending = 0
+	for _, q := range n.queues {
+		if q.pendingIRQ == 0 {
+			continue
+		}
+		if force || nowCycles-q.firstPending >= q.coalesceDelay {
+			n.assertIRQLocked(q)
 		}
 	}
-	n.pendingIRQ++
-	if !n.intMasked && n.pendingIRQ >= n.coalesceFrames {
-		n.assertIRQLocked()
+}
+
+// noteRxLocked records one frame landing in a queue's ring and applies
+// that queue's frame-count coalescing threshold. Caller holds n.mu.
+func (n *NIC) noteRxLocked(q *nicQueue) {
+	if q.irq == nil {
+		return
+	}
+	if q.pendingIRQ == 0 {
+		if n.clock != nil {
+			q.firstPending = n.clock()
+		} else {
+			q.firstPending = 0
+		}
+	}
+	q.pendingIRQ++
+	if !q.intMasked && q.pendingIRQ >= q.coalesceFrames {
+		n.assertIRQLocked(q)
 	}
 }
 
-// assertIRQLocked raises the line, folding all pending frames into one
-// interrupt. Caller holds n.mu and has checked pendingIRQ > 0.
-func (n *NIC) assertIRQLocked() {
-	if n.irq == nil || n.intMasked {
+// assertIRQLocked raises a queue's line, folding all its pending frames
+// into one interrupt. Caller holds n.mu and has checked pendingIRQ > 0.
+func (n *NIC) assertIRQLocked(q *nicQueue) {
+	if q.irq == nil || q.intMasked {
 		return
 	}
-	n.irq.Assert(n.firstPending)
+	q.irq.Assert(q.firstPending)
 	n.IRQsAsserted++
-	n.pendingIRQ = 0
+	q.pendingIRQ = 0
 }
 
 // Connect wires two NICs back-to-back (server/load-generator setup of
@@ -193,6 +281,19 @@ func Connect(a, b *NIC) {
 	b.mu.Unlock()
 }
 
+// queueReg resolves an offset inside the per-queue register blocks.
+// Caller holds n.mu.
+func (n *NIC) queueRegLocked(off uint64) (*nicQueue, uint64, bool) {
+	if off < NICRegQueueBase {
+		return nil, 0, false
+	}
+	qi := int((off - NICRegQueueBase) / NICRegQueueStride)
+	if qi >= len(n.queues) {
+		return nil, 0, false
+	}
+	return n.queues[qi], (off - NICRegQueueBase) % NICRegQueueStride, true
+}
+
 // MMIORead implements mm.MMIOHandler.
 func (n *NIC) MMIORead(off uint64) uint64 {
 	n.mu.Lock()
@@ -201,16 +302,29 @@ func (n *NIC) MMIORead(off uint64) uint64 {
 	case NICRegTxRing:
 		return n.txRing
 	case NICRegRxRing:
-		return n.rxRing
+		return n.queues[0].rxRing
 	case NICRegRingLen:
 		return n.ringLen
 	case NICRegRxHead:
-		return n.rxTail
+		return n.queues[0].rxTail
 	case NICRegIntCtl:
-		if n.intMasked {
+		if n.queues[0].intMasked {
 			return 1
 		}
 		return 0
+	}
+	if q, reg, ok := n.queueRegLocked(off); ok {
+		switch reg {
+		case NICRegQRxRing:
+			return q.rxRing
+		case NICRegQRxHead:
+			return q.rxTail
+		case NICRegQIntCtl:
+			if q.intMasked {
+				return 1
+			}
+			return 0
+		}
 	}
 	return 0
 }
@@ -222,7 +336,7 @@ func (n *NIC) MMIOWrite(off uint64, val uint64) {
 	case NICRegTxRing:
 		n.txRing = val
 	case NICRegRxRing:
-		n.rxRing = val
+		n.queues[0].rxRing = val
 	case NICRegRingLen:
 		n.ringLen = val
 	case NICRegTxDoorbell:
@@ -230,19 +344,34 @@ func (n *NIC) MMIOWrite(off uint64, val uint64) {
 		n.transmit(val)
 		return
 	case NICRegIntCtl:
-		if val != 0 {
-			n.intMasked = true
-		} else {
-			// NAPI re-enable: if frames arrived while the line was
-			// masked, re-assert immediately so the driver is told about
-			// work it has not been signalled for.
-			n.intMasked = false
-			if n.pendingIRQ > 0 {
-				n.assertIRQLocked()
+		n.intCtlLocked(n.queues[0], val)
+	default:
+		if q, reg, ok := n.queueRegLocked(off); ok {
+			switch reg {
+			case NICRegQRxRing:
+				q.rxRing = val
+			case NICRegQIntCtl:
+				n.intCtlLocked(q, val)
 			}
 		}
 	}
 	n.mu.Unlock()
+}
+
+// intCtlLocked applies a mask/unmask write to a queue. Caller holds
+// n.mu.
+func (n *NIC) intCtlLocked(q *nicQueue, val uint64) {
+	if val != 0 {
+		q.intMasked = true
+		return
+	}
+	// NAPI re-enable: if frames arrived while the vector was masked,
+	// re-assert immediately so the driver is told about work it has not
+	// been signalled for.
+	q.intMasked = false
+	if q.pendingIRQ > 0 {
+		n.assertIRQLocked(q)
+	}
 }
 
 // transmit sends the frame described by TX slot and delivers it to the
@@ -288,12 +417,38 @@ func (n *NIC) transmit(slot uint64) {
 	dst.Deliver(frame)
 }
 
-// Deliver places a frame into the next free RX descriptor — what the wire
-// (or a host-side load generator) does.
+// rssHash is the deterministic receive-side-scaling hash: FNV-1a over
+// the frame's first 32 bytes (the header region real RSS hashes). The
+// same frame bytes always land on the same queue, so steering is a pure
+// function of traffic content and queue count.
+func rssHash(frame []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	n := len(frame)
+	if n > 32 {
+		n = 32
+	}
+	for _, b := range frame[:n] {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Deliver places a frame into the next free RX descriptor of the queue
+// its RSS hash selects — what the wire (or a host-side load generator)
+// does.
 func (n *NIC) Deliver(frame []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.rxRing == 0 || n.ringLen == 0 {
+	q := n.queues[0]
+	if len(n.queues) > 1 {
+		q = n.queues[rssHash(frame)%uint64(len(n.queues))]
+	}
+	if q.rxRing == 0 || n.ringLen == 0 {
 		// No driver-owned ring: this adapter is host-driven (the load
 		// generator of Table 1); queue the frame for the harness. The
 		// modeled generator keeps pace with the wire, so past the cap
@@ -310,7 +465,7 @@ func (n *NIC) Deliver(frame []byte) {
 		n.RxBytes += uint64(len(frame))
 		return
 	}
-	desc := n.rxRing + (n.rxTail%n.ringLen)*16
+	desc := q.rxRing + (q.rxTail%n.ringLen)*16
 	buf, err := n.as.Read64Force(desc)
 	if err != nil || buf == 0 {
 		n.Dropped++
@@ -334,10 +489,11 @@ func (n *NIC) Deliver(frame []byte) {
 		n.Dropped++
 		return
 	}
-	n.rxTail++
+	q.rxTail++
+	q.RxFrames++
 	n.RxFrames++
 	n.RxBytes += uint64(len(frame))
-	n.noteRxLocked()
+	n.noteRxLocked(q)
 }
 
 // TakeHostFrames drains the host-side capture queue (load-generator

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"adelie/internal/bus"
 	"adelie/internal/mm"
 )
 
@@ -31,6 +32,7 @@ const (
 	NVMeRegCQBase   = 0x08 // completion queue base VA
 	NVMeRegDoorbell = 0x10 // write: SQ tail index to process
 	NVMeRegLatency  = 0x18 // read: cycles the last command took
+	NVMeRegIntCtl   = 0x20 // write 1: enable the completion interrupt; 0: disable; read: state
 )
 
 // NVMe command opcodes (first word of an SQ entry).
@@ -72,7 +74,16 @@ type NVMe struct {
 	pendingTouch []uint64        // cache insertions buffered this epoch
 	pendingSet   map[uint64]bool // dedup for pendingTouch
 
+	// Completion-interrupt state (bus.IRQDevice). The interrupt is
+	// disabled until the driver writes NVMeRegIntCtl=1; the legacy
+	// polled-CQ driver never does, so the controller raises nothing for
+	// it and stays bit-identical to the pre-interrupt device.
+	irq        *bus.Line
+	clock      func() uint64
+	intEnabled bool
+
 	Reads, Writes, CacheHits uint64
+	IRQsAsserted             uint64
 }
 
 // NewNVMe creates a controller DMA-attached to the address space.
@@ -88,6 +99,26 @@ func (d *NVMe) DevName() string { return "nvme" }
 
 // DevPages implements bus.Device.
 func (d *NVMe) DevPages() int { return 1 }
+
+// ConnectIRQ implements bus.IRQDevice: the bus hands the controller its
+// completion-interrupt line and a reader for the barrier-published
+// virtual clock.
+func (d *NVMe) ConnectIRQ(l *bus.Line, now func() uint64) {
+	d.mu.Lock()
+	d.irq, d.clock = l, now
+	d.mu.Unlock()
+}
+
+// IRQLine returns the bus line number wired to the controller (-1 if
+// none).
+func (d *NVMe) IRQLine() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.irq == nil {
+		return -1
+	}
+	return d.irq.Num()
+}
 
 // BeginEpoch enters round-granular cache semantics (bus.EpochDevice).
 func (d *NVMe) BeginEpoch() {
@@ -130,6 +161,10 @@ func (d *NVMe) MMIORead(off uint64) uint64 {
 		return d.cqBase
 	case NVMeRegLatency:
 		return d.lastLatency
+	case NVMeRegIntCtl:
+		if d.intEnabled {
+			return 1
+		}
 	}
 	return 0
 }
@@ -146,6 +181,8 @@ func (d *NVMe) MMIOWrite(off uint64, val uint64) {
 		d.cqBase = val
 	case NVMeRegDoorbell:
 		d.process(val)
+	case NVMeRegIntCtl:
+		d.intEnabled = val != 0
 	}
 }
 
@@ -199,6 +236,18 @@ func (d *NVMe) process(slot uint64) {
 	// driver reads its own slot's timing instead of a shared register.
 	_ = d.as.Write64Force(d.cqBase+slot*16, 1)
 	_ = d.as.Write64Force(d.cqBase+slot*16+8, latency)
+	// Completion interrupt: raised per posted completion when the driver
+	// enabled it (the interrupt-driven driver retired the polled CQ).
+	// pendingSince is the barrier-published clock — the command was
+	// submitted and completed within this round.
+	if d.intEnabled && d.irq != nil {
+		since := uint64(0)
+		if d.clock != nil {
+			since = d.clock()
+		}
+		d.irq.Assert(since)
+		d.IRQsAsserted++
+	}
 }
 
 // touchCache records an access to lba. Inside an epoch the insertion is

@@ -26,15 +26,22 @@
 // bus, lines raised by devices during a round (NIC RX coalescing, see
 // internal/bus) are delivered only here, at the round barrier: after the
 // accounting pass, the engine publishes the virtual clock to the bus,
-// ticks coalescing timers, and dispatches pending lines in ascending
-// line order on vCPU 0 through the kernel's registered ISRs. Because
-// raising is commutative and delivery is barrier-serialized, interrupt
-// side effects — ISR cycles, ring drains, driver counters — are
+// ticks coalescing timers, and drains the pending vector set grouped by
+// routed target vCPU — each target lane dispatches the lines routed to
+// it in ascending line order, concurrently across lanes, and the
+// delivery trace plus all accounting are then committed in (vCPU, line)
+// order after every lane joins. A machine whose vectors all route to
+// vCPU 0 (the default) takes the sequential single-lane path, which is
+// bit-identical to the pre-vector-table engine. Because raising is
+// commutative, routes only change between rounds, and delivery is
+// barrier-serialized with deterministic commit order, interrupt side
+// effects — ISR cycles, ring drains, driver counters — are
 // bit-reproducible no matter how the host scheduled the round's lanes.
 package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"adelie/internal/bus"
@@ -88,6 +95,24 @@ type RunResult struct {
 	ChainedBlocks uint64 // blocks entered via trace links, no dispatch-loop return
 	IRQs          uint64 // ISR dispatches delivered at clock boundaries
 	IRQCycles     uint64 // cycles spent in ISRs (counted into CPU usage)
+
+	// Per-vCPU delivery breakdown (index = vCPU; nil when the machine has
+	// no bus). The aggregate IRQs/IRQCycles fields are kept for
+	// compatibility and always equal the slice sums.
+	IRQsPerLane      []uint64
+	IRQCyclesPerLane []uint64
+}
+
+// IRQVCPUs counts the vCPUs that handled at least one interrupt — the
+// observable spread of the vector table's routing.
+func (r *RunResult) IRQVCPUs() int {
+	n := 0
+	for _, c := range r.IRQsPerLane {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Engine drives measurements against one booted kernel.
@@ -155,6 +180,10 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 
 	var res RunResult
 	res.Lanes = lanes
+	if e.Bus != nil {
+		res.IRQsPerLane = make([]uint64, ncpu)
+		res.IRQCyclesPerLane = make([]uint64, ncpu)
+	}
 	clk := NewClock()
 	if e.R != nil && cfg.RerandPeriodUs > 0 {
 		clk.Schedule(Actor{
@@ -289,8 +318,13 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 }
 
 // serviceIRQs runs the barrier interrupt window: publish the virtual
-// clock to the bus, tick coalescing timers, and dispatch pending lines
-// in ascending line order on vCPU 0. With force set (end of
+// clock to the bus, tick coalescing timers, and drain the pending
+// vector set grouped by routed target vCPU. Every target lane
+// dispatches its lines in ascending line order on its own cpu.CPU —
+// concurrently when the round's vectors route to more than one lane —
+// and the delivery trace, counters and per-lane accounting are
+// committed in (vCPU, line) order only after all lanes join, so the
+// result is independent of host scheduling. With force set (end of
 // measurement) it loops until the pending set is empty, so an ISR whose
 // unmask re-asserts the line still drains before metrics derive.
 func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
@@ -300,6 +334,7 @@ func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
 	now := uint64(clk.NowUs() * (CPUHz / 1e6))
 	e.Bus.SetNow(now)
 	ic := e.Bus.IC()
+	ncpu := e.K.NumCPUs()
 	for iter := 0; ; iter++ {
 		if iter >= 1024 {
 			return fmt.Errorf("engine: interrupt storm: lines still pending after %d flush passes", iter)
@@ -309,18 +344,76 @@ func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
 		if len(pending) == 0 {
 			return nil
 		}
-		c := e.K.CPU(0)
-		for _, p := range pending {
-			before := c.Cycles
-			handled, err := e.K.DispatchIRQ(c, p.Line)
-			if err != nil {
-				return fmt.Errorf("engine: irq line %d: %w", p.Line, err)
+		// Clamp routes to booted vCPUs, then order the set by (vCPU, line):
+		// groups become contiguous runs, and the commit loop below walks
+		// them in the deterministic delivery order. TakePending returned
+		// the set line-ascending, so a same-vCPU pair keeps line order
+		// under this stable sort.
+		multi := false
+		for i := range pending {
+			if pending[i].VCPU < 0 || pending[i].VCPU >= ncpu {
+				pending[i].VCPU = 0
 			}
-			if handled {
+			if pending[i].VCPU != pending[0].VCPU {
+				multi = true
+			}
+		}
+		if multi {
+			sort.SliceStable(pending, func(i, j int) bool { return pending[i].VCPU < pending[j].VCPU })
+		}
+
+		type delivery struct {
+			handled bool
+			cycles  uint64
+			err     error
+		}
+		dels := make([]delivery, len(pending))
+		dispatch := func(vcpu, lo, hi int) {
+			c := e.K.CPU(vcpu)
+			for i := lo; i < hi; i++ {
+				before := c.Cycles
+				handled, err := e.K.DispatchIRQ(c, pending[i].Line)
+				dels[i] = delivery{handled: handled, cycles: c.Cycles - before, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}
+		if !multi {
+			// Single target lane — every legacy machine routes here (all
+			// vectors on vCPU 0): sequential dispatch on the calling
+			// goroutine, bit-identical to the pre-vector-table engine.
+			dispatch(pending[0].VCPU, 0, len(pending))
+		} else {
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(pending); {
+				hi := lo + 1
+				for hi < len(pending) && pending[hi].VCPU == pending[lo].VCPU {
+					hi++
+				}
+				wg.Add(1)
+				go func(vcpu, lo, hi int) {
+					defer wg.Done()
+					dispatch(vcpu, lo, hi)
+				}(pending[lo].VCPU, lo, hi)
+				lo = hi
+			}
+			wg.Wait()
+		}
+		// Commit: trace, counters and per-lane attribution in (vCPU, line)
+		// order with all lanes joined.
+		for i, p := range pending {
+			d := dels[i]
+			if d.err != nil {
+				return fmt.Errorf("engine: irq line %d (vcpu %d): %w", p.Line, p.VCPU, d.err)
+			}
+			if d.handled {
 				res.IRQs++
-				res.IRQCycles += c.Cycles - before
+				res.IRQCycles += d.cycles
+				res.IRQsPerLane[p.VCPU]++
+				res.IRQCyclesPerLane[p.VCPU] += d.cycles
 			}
-			ic.NoteDelivered(p, now, handled)
+			ic.NoteDelivered(p, now, d.handled)
 		}
 		if !force {
 			return nil

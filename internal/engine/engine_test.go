@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -128,7 +129,7 @@ func TestParallelRunDeterministic(t *testing.T) {
 		}
 		perCPU[i] = cycles
 	}
-	if results[0] != results[1] {
+	if !reflect.DeepEqual(results[0], results[1]) {
 		t.Fatalf("parallel run not deterministic:\n%+v\n%+v", results[0], results[1])
 	}
 	for j := 0; j < 8; j++ {

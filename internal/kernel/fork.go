@@ -77,9 +77,9 @@ func (k *Kernel) Fork() (*Kernel, error) {
 		nk.heapSizes[va] = class
 	}
 	if k.isrs != nil {
-		nk.isrs = make(map[int]uint64, len(k.isrs))
-		for line, va := range k.isrs {
-			nk.isrs[line] = va
+		nk.isrs = make(map[int]isrEntry, len(k.isrs))
+		for line, e := range k.isrs {
+			nk.isrs[line] = e
 		}
 	}
 	for va, n := range k.natives {

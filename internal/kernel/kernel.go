@@ -107,7 +107,11 @@ type Kernel struct {
 	modules   map[string]*Module
 	cpus      []*cpu.CPU
 	workqueue []workItem
-	isrs      map[int]uint64 // IRQ line → handler VA (see irq.go)
+	isrs      map[int]isrEntry // IRQ line → {handler VA, affinity vCPU} (see irq.go)
+
+	// irqRouter mirrors ISR affinity into the bus's vector table. Machine
+	// wiring, installed by sim and re-installed on fork — never copied.
+	irqRouter func(line, vcpu int)
 
 	log []string // printk buffer
 
@@ -534,11 +538,13 @@ func (k *Kernel) coreNativeDefs() []nativeDef {
 			c.Regs[0] = 0
 			return nil
 		}},
-		// request_irq(line, handler) registers an interrupt service routine.
-		// Like queue_work, the handler address may point into the module's
-		// movable part; the re-randomizer slides registered vectors on moves.
+		// request_irq(line, handler) registers an interrupt service routine,
+		// affine to vCPU 0 (the legacy target) until irq_set_affinity moves
+		// it. Like queue_work, the handler address may point into the
+		// module's movable part; the re-randomizer slides registered vectors
+		// on moves.
 		{"request_irq", 150, func(c *cpu.CPU) error {
-			k.RegisterISR(int(c.Regs[7]), c.Regs[6]) // RDI, RSI
+			k.RegisterISR(int(c.Regs[7]), c.Regs[6], 0) // RDI, RSI
 			c.Regs[0] = 0
 			return nil
 		}},
@@ -550,6 +556,17 @@ func (k *Kernel) coreNativeDefs() []nativeDef {
 		}},
 		{"mr_finish", 30, func(c *cpu.CPU) error {
 			k.SMR.Leave(c.ID)
+			return nil
+		}},
+		// irq_set_affinity(line, cpu) points an interrupt vector at a target
+		// vCPU — the guest half of MSI-X routing. Multi-queue drivers call
+		// it per queue after request_irq so each queue's ISR runs on its own
+		// lane. Appended after every pre-existing native: natives allocate
+		// text addresses sequentially, so adding at the end keeps all prior
+		// symbol VAs (and with them every existing figure) bit-identical.
+		{"irq_set_affinity", 100, func(c *cpu.CPU) error {
+			k.SetISRAffinity(int(c.Regs[7]), int(c.Regs[6])) // RDI, RSI
+			c.Regs[0] = 0
 			return nil
 		}},
 	}

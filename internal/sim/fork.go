@@ -67,6 +67,10 @@ func (m *Machine) Fork() (*Machine, error) {
 		return nil, fmt.Errorf("sim: fork: %w", err)
 	}
 	devices.Connect(nic, peer)
+	// The IRQ router is machine wiring, not kernel state: kernel.Fork
+	// leaves it nil, so point the clone's guest affinity API at its own
+	// interrupt controller (which carried the template's routes over).
+	nk.SetIRQRouter(nb.IC().SetRoute)
 	nm := &Machine{
 		K: nk, R: nr, Bus: nb,
 		NVMe: nvme, NIC: nic, Peer: peer, XHCI: xhci,

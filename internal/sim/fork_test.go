@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -81,10 +82,10 @@ func TestForkRunMatchesColdBoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	r1, r2 := run(f1), run(f2)
-	if r1 != cold {
+	if !reflect.DeepEqual(r1, cold) {
 		t.Fatalf("fork diverges from cold boot:\nfork: %+v\ncold: %+v", r1, cold)
 	}
-	if r2 != cold {
+	if !reflect.DeepEqual(r2, cold) {
 		t.Fatalf("second fork diverges from cold boot:\nfork: %+v\ncold: %+v", r2, cold)
 	}
 	f1.Release()

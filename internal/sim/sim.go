@@ -38,6 +38,12 @@ type Config struct {
 	NumCPUs int   // default 20 (Table 1 server)
 	Seed    int64 // determinism knob
 	KASLR   kernel.KASLRMode
+
+	// NICQueues sets the server adapter's RX queue count (RSS). 0 and 1
+	// both mean the legacy single-queue adapter, whose MMIO map, vector
+	// allocation and RNG draws are byte-identical to the pre-multi-queue
+	// machine. Capped at devices.MaxNICQueues.
+	NICQueues int
 }
 
 // Machine is the assembled testbed. Devices hang off the Bus, which
@@ -66,11 +72,21 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.NICQueues > devices.MaxNICQueues {
+		return nil, fmt.Errorf("sim: NICQueues %d exceeds the adapter's %d hardware queues",
+			cfg.NICQueues, devices.MaxNICQueues)
+	}
 	m := &Machine{K: k, R: rerand.New(k), Bus: bus.New(k.AS, mmioBase), mods: map[string]*kernel.Module{}}
+	// Guest-visible IRQ affinity (request_irq / irq_set_affinity) programs
+	// the bus interrupt controller's vector routes.
+	k.SetIRQRouter(m.Bus.IC().SetRoute)
 
 	m.NVMe = devices.NewNVMe(k.AS)
 	m.NIC = devices.NewNIC(k.AS)
 	m.NIC.Name = "nic0"
+	if cfg.NICQueues > 1 {
+		m.NIC.SetQueues(cfg.NICQueues)
+	}
 	m.Peer = devices.NewNIC(k.AS)
 	m.Peer.Name = "nic1"
 	m.XHCI = devices.NewXHCI()
@@ -95,7 +111,7 @@ func (m *Machine) MMIOBase(name string) (uint64, error) {
 
 // LoadDriver builds, loads and (if re-randomizable) registers a driver.
 func (m *Machine) LoadDriver(name string, o drivers.BuildOpts) (*kernel.Module, error) {
-	mk, ok := drivers.All()[name]
+	mk, ok := drivers.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown driver %q", name)
 	}
@@ -192,6 +208,77 @@ func (m *Machine) InitNICRing(prefix string, ringLen uint64) (uint64, error) {
 	}
 	_, err = m.Call(prefix+"_init", mmio, tx, rx, ringLen, uint64(m.NIC.IRQLine()))
 	return ringLen, err
+}
+
+// InitNICMQ allocates a TX ring plus one RX ring per hardware queue and
+// initializes the multi-queue driver (prefix "e1000emq") against the
+// server adapter. The driver's init walks the ring table, programs each
+// queue's device ring register, registers its NAPI ISR on each queue's
+// vector and pins queue q's vector to vCPU q — so the machine must have
+// been built with Config.NICQueues matching queues. Ring length rules
+// are InitNICRing's.
+func (m *Machine) InitNICMQ(prefix string, ringLen uint64, queues int) (uint64, error) {
+	if ringLen == 0 || ringLen&(ringLen-1) != 0 {
+		return 0, fmt.Errorf("sim: NIC ring length %d is not a power of two", ringLen)
+	}
+	if queues < 1 || queues > m.NIC.NumQueues() {
+		return 0, fmt.Errorf("sim: %d queues requested, adapter has %d", queues, m.NIC.NumQueues())
+	}
+	tx, err := m.K.Kmalloc(ringLen * 16)
+	if err != nil {
+		return 0, err
+	}
+	// Ring table: queues consecutive RX ring base addresses, each ring
+	// with pre-posted buffers.
+	rxtab, err := m.K.Kmalloc(uint64(queues) * 8)
+	if err != nil {
+		return 0, err
+	}
+	for q := 0; q < queues; q++ {
+		rx, err := m.K.Kmalloc(ringLen * 16)
+		if err != nil {
+			return 0, err
+		}
+		for i := uint64(0); i < ringLen; i++ {
+			buf, err := m.K.Kmalloc(2048)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.K.AS.Write64(rx+i*16, buf); err != nil {
+				return 0, err
+			}
+		}
+		if err := m.K.AS.Write64(rxtab+uint64(q)*8, rx); err != nil {
+			return 0, err
+		}
+	}
+	mmio, err := m.MMIOBase("nic0")
+	if err != nil {
+		return 0, err
+	}
+	lines := m.Bus.IRQLines("nic0")
+	if len(lines) < queues {
+		return 0, fmt.Errorf("sim: adapter has %d vectors, %d queues requested", len(lines), queues)
+	}
+	_, err = m.Call(prefix+"_init", mmio, tx, rxtab, ringLen, uint64(queues), uint64(lines[0]))
+	return ringLen, err
+}
+
+// InitNVMeIRQ switches the storage path to completion interrupts: it
+// loads nothing itself (the "nvmeirq" companion driver must already be
+// loaded), registers the completion ISR on the controller's vector
+// pinned to the given vCPU, and enables the controller's interrupt.
+func (m *Machine) InitNVMeIRQ(vcpu int) error {
+	mmio, err := m.MMIOBase("nvme")
+	if err != nil {
+		return err
+	}
+	line := m.Bus.IRQLine("nvme")
+	if line < 0 {
+		return fmt.Errorf("sim: nvme has no interrupt line")
+	}
+	_, err = m.Call("nvmeirq_setup", uint64(line), uint64(vcpu), mmio)
+	return err
 }
 
 // InitXHCI initializes the xHCI driver.

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"reflect"
 	"testing"
 
 	"adelie/internal/cpu"
@@ -168,7 +169,7 @@ func TestRunDeterminism(t *testing.T) {
 		}
 		results[i] = res
 	}
-	if results[0] != results[1] {
+	if !reflect.DeepEqual(results[0], results[1]) {
 		t.Fatalf("simulation not deterministic:\n%+v\n%+v", results[0], results[1])
 	}
 }

@@ -172,6 +172,7 @@ var Experiments = NewRegistry(
 	expSecurity,
 	expAblation,
 	expCoalesce,
+	expServer,
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adelie/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from current output")
+
+// serverTestRun is the shared harness: one server configuration plus
+// its delivery trace (line>vcpu@cycle:handled per delivered interrupt).
+func serverTestRun(t *testing.T, queues, workers, ops int) (ServerRow, sim.RunResult, []string) {
+	t.Helper()
+	row, res, m, err := serverRun(seedServer, queues, workers, ops, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	for _, d := range m.Bus.IC().Trace() {
+		trace = append(trace, fmt.Sprintf("%d>%d@%d:%v", d.Line, d.VCPU, d.AtCycle, d.Handled))
+	}
+	return row, res, trace
+}
+
+// TestServerCrossVCPUDeterminism is the tentpole's determinism
+// contract: with RSS spreading RX vectors across vCPUs (and the NVMe
+// completion vector pinned alongside them), repeated runs must produce
+// identical RunResults — including the per-lane IRQ breakdown — and an
+// identical (line, vcpu, cycle) delivery trace, while interrupts
+// demonstrably arrive on multiple distinct vCPUs.
+func TestServerCrossVCPUDeterminism(t *testing.T) {
+	for _, queues := range []int{2, 4} {
+		queues := queues
+		t.Run(fmt.Sprintf("queues=%d", queues), func(t *testing.T) {
+			rowA, resA, traceA := serverTestRun(t, queues, 4, 48)
+			rowB, resB, traceB := serverTestRun(t, queues, 4, 48)
+			if rowA != rowB || !reflect.DeepEqual(resA, resB) {
+				t.Fatalf("server run not deterministic:\n%+v %+v\n%+v %+v", rowA, resA, rowB, resB)
+			}
+			if strings.Join(traceA, ",") != strings.Join(traceB, ",") {
+				t.Fatalf("delivery trace differs:\n%v\n%v", traceA, traceB)
+			}
+			if resA.IRQVCPUs() != queues {
+				t.Fatalf("IRQs delivered on %d vCPUs, want %d (per-lane %v)",
+					resA.IRQVCPUs(), queues, resA.IRQsPerLane)
+			}
+			var sum uint64
+			for _, c := range resA.IRQsPerLane {
+				sum += c
+			}
+			if sum != resA.IRQs || resA.IRQs == 0 {
+				t.Fatalf("per-lane IRQ counts %v don't sum to aggregate %d", resA.IRQsPerLane, resA.IRQs)
+			}
+		})
+	}
+}
+
+// TestServerSingleQueueOnVCPU0: one queue with default affinity is the
+// legacy delivery shape — every interrupt (NIC vector and NVMe
+// completion alike) lands on vCPU 0.
+func TestServerSingleQueueOnVCPU0(t *testing.T) {
+	_, res, trace := serverTestRun(t, 1, 4, 48)
+	if res.IRQVCPUs() != 1 || res.IRQs == 0 {
+		t.Fatalf("single-queue spread = %d vCPUs (per-lane %v)", res.IRQVCPUs(), res.IRQsPerLane)
+	}
+	if res.IRQsPerLane[0] != res.IRQs {
+		t.Fatalf("single-queue IRQs not all on vCPU 0: %v", res.IRQsPerLane)
+	}
+	for _, d := range trace {
+		if !strings.Contains(d, ">0@") {
+			t.Fatalf("delivery off vCPU 0 in single-queue mode: %v", trace)
+		}
+	}
+}
+
+// TestServerForkPoolMatchesColdBoot extends the fork-determinism
+// contract to the multi-queue machine shape: a server run on a
+// copy-on-write fork must be bit-identical — row, RunResult, delivery
+// trace — to one on a cold-booted machine.
+func TestServerForkPoolMatchesColdBoot(t *testing.T) {
+	rowCold, resCold, traceCold := serverTestRun(t, 4, 4, 48)
+	EnableForkPool()
+	defer DisableForkPool()
+	// Two forked runs: the first boots and freezes the template, both
+	// must match the cold boot.
+	for i := 0; i < 2; i++ {
+		rowF, resF, traceF := serverTestRun(t, 4, 4, 48)
+		if rowCold != rowF || !reflect.DeepEqual(resCold, resF) {
+			t.Fatalf("fork %d diverges from cold boot:\n%+v %+v\n%+v %+v", i, rowCold, resCold, rowF, resF)
+		}
+		if strings.Join(traceCold, ",") != strings.Join(traceF, ",") {
+			t.Fatalf("fork %d delivery trace diverges:\n%v\n%v", i, traceCold, traceF)
+		}
+	}
+}
+
+// TestFig6QuickGolden pins the NVMe latency figure byte-for-byte: the
+// interrupt-path refactor retired the driver's polled-CQ spin, and this
+// golden is the regression proof that the replacement consume sequence
+// left every fig6 number — throughput, IOPS, CPU%, rerand% — unchanged.
+// Regenerate (only with an understood, intended change) via
+// go test ./internal/workload -run Fig6QuickGolden -args -update.
+func TestFig6QuickGolden(t *testing.T) {
+	e, ok := Experiments.Lookup("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	tab, err := e.Run(e.Params(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	golden := filepath.Join("testdata", "fig6_quick.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("fig6 quick table drifted from golden:\n--- want\n%s--- got\n%s", want, buf.Bytes())
+	}
+}

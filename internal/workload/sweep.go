@@ -24,6 +24,7 @@ import (
 type poolKey struct {
 	cfg     Config
 	seed    int64
+	queues  int
 	drivers string
 }
 
@@ -64,7 +65,7 @@ func DisableForkPool() {
 // poolFork serves one machine from the template pool, booting and
 // freezing the template on first use of its key. ok is false when the
 // pool is off or this shape cannot fork — the caller cold-boots.
-func poolFork(c Config, seed int64, driverNames []string) (*sim.Machine, bool) {
+func poolFork(c Config, seed int64, queues int, driverNames []string) (*sim.Machine, bool) {
 	if !forkPool.on.Load() {
 		return nil, false
 	}
@@ -73,10 +74,10 @@ func poolFork(c Config, seed int64, driverNames []string) (*sim.Machine, bool) {
 	if forkPool.tmpl == nil { // disabled between the atomic check and the lock
 		return nil, false
 	}
-	key := poolKey{c, seed, strings.Join(driverNames, ",")}
+	key := poolKey{c, seed, queues, strings.Join(driverNames, ",")}
 	tmpl, ok := forkPool.tmpl[key]
 	if !ok {
-		m, err := bootMachine(c, seed, driverNames...)
+		m, err := bootMachineQ(c, seed, queues, driverNames...)
 		if err != nil {
 			return nil, false // let the cold path surface the boot error
 		}

@@ -60,10 +60,17 @@ func kaslrFor(c Config) kernel.KASLRMode {
 // sweep has the fork pool enabled it is a copy-on-write fork of a frozen
 // template — indistinguishable by the fork-determinism contract.
 func newMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, error) {
-	if m, ok := poolFork(c, seed, driverNames); ok {
+	return newMachineQ(c, seed, 1, driverNames...)
+}
+
+// newMachineQ is newMachine with an explicit NIC RX queue count (the
+// server experiment sweeps it; every legacy figure uses the single-queue
+// shape via newMachine).
+func newMachineQ(c Config, seed int64, queues int, driverNames ...string) (*sim.Machine, error) {
+	if m, ok := poolFork(c, seed, queues, driverNames); ok {
 		return m, nil
 	}
-	return bootMachine(c, seed, driverNames...)
+	return bootMachineQ(c, seed, queues, driverNames...)
 }
 
 // NewBenchMachine is the exported machine factory for harness
@@ -76,7 +83,11 @@ func NewBenchMachine(c Config, seed int64, driverNames ...string) (*sim.Machine,
 
 // bootMachine cold-boots a testbed and loads the listed drivers.
 func bootMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, error) {
-	m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: seed, KASLR: kaslrFor(c)})
+	return bootMachineQ(c, seed, 1, driverNames...)
+}
+
+func bootMachineQ(c Config, seed int64, queues int, driverNames ...string) (*sim.Machine, error) {
+	m, err := sim.NewMachine(sim.Config{NumCPUs: 20, Seed: seed, KASLR: kaslrFor(c), NICQueues: queues})
 	if err != nil {
 		return nil, err
 	}
