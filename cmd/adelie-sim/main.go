@@ -40,9 +40,16 @@ func run(modules string, period, duration time.Duration, seed int64) error {
 		return err
 	}
 	opts := drivers.BuildOpts{PIC: true, Retpoline: true, Rerand: true, StackRerand: true, RetEncrypt: true}
-	names := strings.Split(modules, ",")
+	// Split and trim the module list once; every loop below reuses the
+	// cleaned names.
+	var names []string
+	for _, name := range strings.Split(modules, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
 	for _, name := range names {
-		mod, err := m.LoadDriver(strings.TrimSpace(name), opts)
+		mod, err := m.LoadDriver(name, opts)
 		if err != nil {
 			return err
 		}
@@ -50,13 +57,13 @@ func run(modules string, period, duration time.Duration, seed int64) error {
 			mod.Name, mod.Base(), mod.Movable.Pages, mod.Immovable.Base, mod.Key())
 	}
 	for _, name := range names {
-		switch strings.TrimSpace(name) {
+		switch name {
 		case "nvme":
 			if err := m.InitNVMe(); err != nil {
 				return err
 			}
 		case "e1000e", "e1000", "ena":
-			if _, err := m.InitNIC(strings.TrimSpace(name)); err != nil {
+			if _, err := m.InitNIC(name); err != nil {
 				return err
 			}
 		case "xhci":
@@ -79,7 +86,7 @@ func run(modules string, period, duration time.Duration, seed int64) error {
 	for time.Now().Before(deadline) {
 		for _, name := range names {
 			var err error
-			switch strings.TrimSpace(name) {
+			switch name {
 			case "nvme":
 				_, err = m.Call("nvme_read", buf, 1, 512)
 			case "dummy":
@@ -91,7 +98,7 @@ func run(modules string, period, duration time.Duration, seed int64) error {
 			case "xhci":
 				_, err = m.Call("xhci_poll")
 			case "e1000e", "e1000", "ena":
-				_, err = m.Call(strings.TrimSpace(name)+"_xmit", buf, 256, uint64(calls))
+				_, err = m.Call(name+"_xmit", buf, 256, uint64(calls))
 			}
 			if err != nil {
 				return fmt.Errorf("driver call during re-randomization: %w", err)
@@ -114,7 +121,7 @@ func run(modules string, period, duration time.Duration, seed int64) error {
 		fmt.Println(" ", line)
 	}
 	for _, name := range names {
-		if mod := m.Module(strings.TrimSpace(name)); mod != nil {
+		if mod := m.Module(name); mod != nil {
 			fmt.Printf("%-8s now at %#x after %d moves (pages remapped: %d, GOT entries slid: %d)\n",
 				mod.Name, mod.Base(), mod.Rerandomizations, mod.PagesRemapped, mod.GotEntriesMoved)
 		}

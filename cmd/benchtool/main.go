@@ -30,9 +30,12 @@
 // per interpreted operation on the hot figure paths) rather than the
 // simulated metrics; with -json FILE the results are written as a JSON
 // record so successive PRs can track the interpreter's real speed
-// (BENCH_seed.json, BENCH_pr1.json, ...). The -check flag compares a
-// recorded selfbench JSON against the best committed BENCH_*.json and
-// exits non-zero on a >20% dd-path regression — the CI bench gate.
+// (BENCH_seed.json, BENCH_pr1.json, ...). Its final leg stands up an
+// in-process fleet service (internal/service) and records service_rps /
+// service_p99_us under ~1k concurrent load-generator requests. The
+// -check flag compares a recorded selfbench JSON against the best
+// committed BENCH_*.json and exits non-zero on a gated-metric
+// regression past the margin — the CI bench gate.
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -48,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"adelie/internal/service"
 	"adelie/internal/workload"
 )
 
@@ -56,8 +61,8 @@ type paramFlags []string
 
 func (p *paramFlags) String() string { return strings.Join(*p, ",") }
 func (p *paramFlags) Set(s string) error {
-	if !strings.Contains(s, "=") {
-		return fmt.Errorf("want key=val, got %q", s)
+	if _, _, err := workload.SplitOverride(s); err != nil {
+		return err
 	}
 	*p = append(*p, s)
 	return nil
@@ -179,28 +184,8 @@ func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath, 
 	// Every -p override must be well-formed and match at least one
 	// selected experiment — catching a typo'd key or value up front
 	// beats silently running everything at defaults.
-	for _, kv := range overrides {
-		k, v, _ := strings.Cut(kv, "=")
-		if _, isRange, err := workload.ParseRange(v); isRange {
-			if err != nil {
-				return fmt.Errorf("-p %s: %w", kv, err)
-			}
-		} else if _, err := strconv.ParseInt(v, 10, 64); err != nil {
-			return fmt.Errorf("-p %s: %q is not an integer (or lo..hi[:step] range)", kv, v)
-		}
-		matched := false
-		for _, name := range names {
-			if exp, ok := workload.Experiments.Lookup(name); ok {
-				for _, s := range exp.ParamSpecs {
-					if s.Name == k {
-						matched = true
-					}
-				}
-			}
-		}
-		if !matched {
-			return fmt.Errorf("-p %s: no selected experiment has parameter %q (see benchtool list)", kv, k)
-		}
+	if err := workload.Experiments.CheckOverrides(names, overrides); err != nil {
+		return err
 	}
 	rec := figureRecord{GoVersion: runtime.Version(), Quick: quick}
 	wroteSelfbench := false
@@ -222,28 +207,14 @@ func runExperiments(names []string, overrides paramFlags, quick bool, jsonPath, 
 		if !ok {
 			return unknownExperiment(name)
 		}
-		p := exp.Params(quick)
-		var sweepParam string
-		var sweepValues []int64
-		for _, kv := range overrides {
-			k, v, _ := strings.Cut(kv, "=")
-			// In a multi-name run "-p ops=…" tunes the experiments that
-			// have the param; pre-validation above guarantees each key
-			// matched somewhere and each value parses.
-			vals, isRange, _ := workload.ParseRange(v)
-			if isRange {
-				if err := p.Set(k, vals[0]); err != nil {
-					continue // this experiment has no such param
-				}
-				if sweepParam != "" && sweepParam != k {
-					return fmt.Errorf("%s: one -p range per run (have %s and %s)", name, sweepParam, k)
-				}
-				sweepParam, sweepValues = k, vals
-				continue
-			}
-			if err := p.SetString(k, v); err != nil {
-				continue
-			}
+		// In a multi-name run "-p ops=…" tunes the experiments that have
+		// the param (non-strict resolution skips the others); the
+		// CheckOverrides pre-pass above guarantees each key matched
+		// somewhere and each value parses. The fleet service resolves its
+		// JSON params through this same path, strictly.
+		p, sweepParam, sweepValues, err := exp.ResolveOverrides(quick, overrides, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		if sweepParam == "" {
 			t, err := exp.Run(p)
@@ -428,6 +399,11 @@ const (
 	serverWallKey = "server_mq4_roundtrip"
 	serverRPSKey  = "server_rps"
 	serverP99Key  = "server_p99_us"
+	// serviceRPSKey and serviceP99Key are the fleet-service figures: host
+	// throughput and tail latency of the adelie-simd HTTP path under ~1k
+	// concurrent clients against a 4-machine fork pool.
+	serviceRPSKey = "service_rps"
+	serviceP99Key = "service_p99_us"
 )
 
 // gatedPath is one metric the -check gate compares: a key, which record
@@ -449,6 +425,8 @@ var gatedPaths = []gatedPath{
 	{serverWallKey, false, "ns/op", false},
 	{serverRPSKey, true, "rps", true},
 	{serverP99Key, true, "us", false},
+	{serviceRPSKey, true, "rps", true},
+	{serviceP99Key, true, "us", false},
 }
 
 // regressionMargin is how much slower than the best recorded baseline
@@ -771,6 +749,36 @@ func selfbench(jsonPath string, scale, reps int) error {
 	rec.Metrics[sweepBenchKey] = parMs
 	rec.Metrics["sweep16_serial_ms"] = serialMs
 	rec.Metrics["sweep16_speedup"] = serialMs / parMs
+
+	// Fleet-service throughput: an in-process adelie-simd (pool of 4
+	// fork-served machines behind the lease manager) hammered by the load
+	// generator with ~1k concurrent fig9 requests. Gates the end-to-end
+	// HTTP→lease→fork→experiment→Table path; every request must be served
+	// from the fork pool (a cold boot here means the pool regressed to
+	// per-request machine boots). One run — thousands of requests already
+	// amortize the noise a reps-min would fight.
+	svc := service.New(service.Config{PoolSize: 4, QueueCap: 4096})
+	ts := httptest.NewServer(svc.Handler())
+	lr, err := service.RunLoad(service.LoadOpts{
+		BaseURL:    ts.URL,
+		Experiment: "fig9", Quick: true, Params: map[string]string{"ops": "50"},
+		Requests: 2048 / scale, Concurrency: 1024 / scale,
+	})
+	ts.Close()
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	svcStats := svc.StatsNow()
+	svc.Close()
+	if lr.Failed > 0 {
+		return fmt.Errorf("service load: %d/%d requests failed (first: %s)", lr.Failed, lr.Requests, lr.FirstError)
+	}
+	if svcStats.ColdBoots != 0 {
+		return fmt.Errorf("service load: %d cold boots; every request must be fork-served", svcStats.ColdBoots)
+	}
+	rec.Metrics[serviceRPSKey] = lr.RPS
+	rec.Metrics[serviceP99Key] = lr.P99Us
 
 	fmt.Printf("%-26s %16s\n", "path", "host ns/op")
 	for _, k := range sortedKeys(rec.WallNsOp) {

@@ -1,0 +1,102 @@
+// Command simload is the load generator for adelie-simd: it hammers the
+// daemon's /v1/run endpoint with many concurrent requests over a pool of
+// worker connections and prints throughput and tail latency — the
+// "millions of users" story made measurable against the fork-served
+// machine pool.
+//
+//	simload -addr http://127.0.0.1:8787 -n 1000 -c 128 -experiment fig9 -quick -p ops=50
+//
+// Exit status is non-zero if any request failed (or none succeeded), so
+// CI can assert the service answered under load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"adelie/internal/service"
+	"adelie/internal/workload"
+)
+
+// paramFlags collects repeated -p key=val overrides (benchtool's flag
+// shape; values resolve server-side through the same workload path).
+type paramFlags []string
+
+func (p *paramFlags) String() string { return strings.Join(*p, ",") }
+func (p *paramFlags) Set(s string) error {
+	if _, _, err := workload.SplitOverride(s); err != nil {
+		return err
+	}
+	*p = append(*p, s)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8787", "adelie-simd base URL")
+	experiment := flag.String("experiment", "fig9", "experiment to request")
+	quick := flag.Bool("quick", false, "request quick-scaled parameter defaults")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 128, "concurrent worker connections")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout (queue wait included)")
+	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
+	var overrides paramFlags
+	flag.Var(&overrides, "p", "experiment parameter override (key=val, repeatable)")
+	flag.Parse()
+
+	params := map[string]string{}
+	for _, kv := range overrides {
+		k, v, _ := workload.SplitOverride(kv)
+		params[k] = v
+	}
+	rep, err := service.RunLoad(service.LoadOpts{
+		BaseURL: *addr, Experiment: *experiment, Params: params, Quick: *quick,
+		Requests: *n, Concurrency: *c, Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simload:", err)
+		os.Exit(1)
+	}
+	rep.RPSPerCore = rep.RPS / float64(runtime.GOMAXPROCS(0))
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simload:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("simload: %d requests, %d workers, experiment %s against %s\n",
+			rep.Requests, *c, *experiment, *addr)
+		fmt.Printf("  ok %d  failed %d  (%s)\n", rep.OK, rep.Failed, statusLine(rep.StatusCounts))
+		fmt.Printf("  wall %.2fs  rps %.1f  rps/core %.1f (%d cores)\n",
+			rep.ElapsedUs/1e6, rep.RPS, rep.RPSPerCore, runtime.GOMAXPROCS(0))
+		fmt.Printf("  latency p50 %.1fms  p99 %.1fms\n", rep.P50Us/1e3, rep.P99Us/1e3)
+		if rep.FirstError != "" {
+			fmt.Printf("  first error: %s\n", rep.FirstError)
+		}
+	}
+	if rep.OK == 0 || rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// statusLine renders the status-code histogram compactly ("200×998 503×2").
+func statusLine(counts map[int]int) string {
+	codes := make([]int, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d×%d", c, counts[c]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// The lease manager bounds how much of the machine pool one daemon hands
+// out at a time. Every request leases one pool slot for the duration of
+// its experiment run; requests past the pool size wait in a bounded FIFO
+// queue (strictly first-come-first-served — Go channel wakeups are not),
+// and a running lease that outlives its TTL is revoked: the slot returns
+// to the pool immediately so an abandoned or wedged run cannot hold
+// capacity, and the late result is discarded when it finally arrives —
+// the flextape/allocation_manager allocate→refresh→expire shape, with
+// the refresh implicit in the run.
+
+var (
+	// ErrQueueFull rejects a request when the FIFO wait queue is at
+	// capacity (HTTP 503: shed load rather than build an unbounded
+	// backlog).
+	ErrQueueFull = errors.New("service: request queue full")
+	// ErrDraining rejects new requests once a graceful shutdown began.
+	ErrDraining = errors.New("service: draining")
+)
+
+// lease is one granted pool slot.
+type lease struct {
+	mgr      *leaseMgr
+	id       uint64
+	granted  time.Time
+	deadline time.Time // granted + TTL; past this the janitor revokes
+	revoked  bool      // slot already reclaimed; result must be discarded
+	released bool
+}
+
+// Revoked reports whether the lease's TTL expired before Release.
+func (l *lease) Revoked() bool {
+	l.mgr.mu.Lock()
+	defer l.mgr.mu.Unlock()
+	return l.revoked
+}
+
+// Release returns the slot to the pool (or hands it to the queue head).
+// Releasing a revoked lease is a no-op: its slot was reclaimed at
+// revocation time. Release is idempotent.
+func (l *lease) Release() {
+	m := l.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	delete(m.active, l.id)
+	if !l.revoked {
+		m.returnSlotLocked()
+	}
+}
+
+// waiter is one queued Acquire.
+type waiter struct {
+	ch        chan *lease // buffered 1; the grantor never blocks
+	abandoned bool        // Acquire gave up (deadline) before a grant
+}
+
+// leaseMgr is the pool's allocation state.
+type leaseMgr struct {
+	mu      sync.Mutex
+	free    int // unleased slots
+	size    int
+	waiters []*waiter // FIFO wait queue, head first
+	active  map[uint64]*lease
+	nextID  uint64
+
+	queueCap  int
+	ttl       time.Duration
+	draining  bool
+	granted   uint64 // lifetime grants
+	queueFull uint64 // rejections
+	timeouts  uint64 // queue waits that hit their deadline
+	revoked   uint64 // TTL revocations
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+func newLeaseMgr(size, queueCap int, ttl time.Duration) *leaseMgr {
+	m := &leaseMgr{
+		free: size, size: size, queueCap: queueCap, ttl: ttl,
+		active:      map[uint64]*lease{},
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go m.janitor()
+	return m
+}
+
+// Acquire leases one slot, waiting in FIFO order behind earlier
+// requests. It fails fast with ErrQueueFull/ErrDraining and gives up
+// when ctx expires while still queued.
+func (m *leaseMgr) Acquire(ctx context.Context) (*lease, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if m.free > 0 {
+		m.free--
+		l := m.grantLocked()
+		m.mu.Unlock()
+		return l, nil
+	}
+	if len(m.waiters) >= m.queueCap {
+		m.queueFull++
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan *lease, 1)}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+
+	select {
+	case l := <-w.ch:
+		return l, nil
+	case <-ctx.Done():
+	}
+	// Deadline hit. A grant may have raced the cancellation: if it did,
+	// the lease is in the channel and must go back to the pool.
+	m.mu.Lock()
+	select {
+	case l := <-w.ch:
+		l.released = true
+		delete(m.active, l.id)
+		m.returnSlotLocked()
+	default:
+		w.abandoned = true
+	}
+	m.timeouts++
+	m.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+// grantLocked mints a lease against one already-claimed slot.
+func (m *leaseMgr) grantLocked() *lease {
+	m.nextID++
+	m.granted++
+	now := time.Now()
+	l := &lease{mgr: m, id: m.nextID, granted: now, deadline: now.Add(m.ttl)}
+	m.active[l.id] = l
+	return l
+}
+
+// returnSlotLocked gives a freed slot to the queue head (skipping waits
+// that already gave up) or back to the free count.
+func (m *leaseMgr) returnSlotLocked() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.abandoned {
+			continue
+		}
+		w.ch <- m.grantLocked()
+		return
+	}
+	m.free++
+}
+
+// janitor revokes leases that outlived the TTL, returning their slots.
+func (m *leaseMgr) janitor() {
+	defer close(m.janitorDone)
+	tick := m.ttl / 4
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopJanitor:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			for _, l := range m.active {
+				if !l.revoked && now.After(l.deadline) {
+					l.revoked = true
+					m.revoked++
+					m.returnSlotLocked()
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// beginDrain stops new admissions; queued waiters still get served.
+func (m *leaseMgr) beginDrain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// drainDone reports whether no lease is live and no request queued.
+// Revoked-but-unreleased leases count as live: their runs are still
+// executing and a clean drain waits for them.
+func (m *leaseMgr) drainDone() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active) == 0 && len(m.waiters) == 0
+}
+
+// close stops the janitor.
+func (m *leaseMgr) close() {
+	select {
+	case <-m.stopJanitor:
+	default:
+		close(m.stopJanitor)
+	}
+	<-m.janitorDone
+}
+
+// snapshot returns the counters for statsz.
+func (m *leaseMgr) snapshot() (queueDepth, inFlight int, granted, queueFull, timeouts, revoked uint64, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters), len(m.active), m.granted, m.queueFull, m.timeouts, m.revoked, m.draining
+}

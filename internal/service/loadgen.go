@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator: hammer a running adelie-simd with many concurrent
+// /v1/run requests over a pool of worker connections and report
+// throughput and tail latency — the stress_test companion the lease
+// servers in the roadmap's related repos ship. cmd/simload is the CLI
+// wrapper; benchtool's selfbench drives RunLoad in-process against an
+// httptest server to record service_rps / service_p99_us.
+
+// LoadOpts configures one load run.
+type LoadOpts struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8787".
+	BaseURL string
+	// Experiment and Params form the request every worker posts.
+	Experiment string
+	Params     map[string]string
+	Quick      bool
+	// Requests is the total request count; Concurrency the number of
+	// workers issuing them (each worker = one in-flight request).
+	Requests    int
+	Concurrency int
+	// Timeout is the per-request client timeout (default 5m — queue
+	// waits behind a small pool are part of the measurement).
+	Timeout time.Duration
+}
+
+// LoadReport is the aggregate result of one load run.
+type LoadReport struct {
+	Requests     int         `json:"requests"`
+	OK           int         `json:"ok"`
+	Failed       int         `json:"failed"`
+	StatusCounts map[int]int `json:"status_counts"`
+	ElapsedUs    float64     `json:"elapsed_us"`
+	RPS          float64     `json:"rps"`
+	RPSPerCore   float64     `json:"rps_per_core,omitempty"` // filled by callers that know core count
+	P50Us        float64     `json:"p50_us"`
+	P99Us        float64     `json:"p99_us"`
+	// FirstError carries one representative failure body for diagnosis.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// RunLoad issues opts.Requests POST /v1/run calls from opts.Concurrency
+// workers and aggregates latency and status counts. Transport-level
+// failures count as Failed with status 0.
+func RunLoad(opts LoadOpts) (*LoadReport, error) {
+	if opts.Requests <= 0 || opts.Concurrency <= 0 {
+		return nil, fmt.Errorf("loadgen: requests (%d) and concurrency (%d) must be positive", opts.Requests, opts.Concurrency)
+	}
+	if opts.Concurrency > opts.Requests {
+		opts.Concurrency = opts.Requests
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	params := make(map[string]any, len(opts.Params))
+	for k, v := range opts.Params {
+		params[k] = v
+	}
+	body, err := json.Marshal(RunRequest{Experiment: opts.Experiment, Params: params, Quick: opts.Quick})
+	if err != nil {
+		return nil, err
+	}
+	url := opts.BaseURL + "/v1/run"
+	client := &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency,
+			MaxIdleConnsPerHost: opts.Concurrency,
+		},
+	}
+
+	type workerStats struct {
+		lats     []float64
+		statuses map[int]int
+		firstErr string
+	}
+	perWorker := make([]workerStats, opts.Concurrency)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			ws.statuses = map[int]int{}
+			for {
+				if int(next.Add(1)) > opts.Requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					ws.statuses[0]++
+					if ws.firstErr == "" {
+						ws.firstErr = err.Error()
+					}
+					continue
+				}
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				ws.statuses[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					ws.lats = append(ws.lats, float64(time.Since(t0).Nanoseconds())/1e3)
+				} else if ws.firstErr == "" {
+					ws.firstErr = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+				}
+			}
+		}(&perWorker[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:     opts.Requests,
+		StatusCounts: map[int]int{},
+		ElapsedUs:    float64(elapsed.Nanoseconds()) / 1e3,
+	}
+	var lats []float64
+	for i := range perWorker {
+		ws := &perWorker[i]
+		lats = append(lats, ws.lats...)
+		for code, n := range ws.statuses {
+			rep.StatusCounts[code] += n
+		}
+		if rep.FirstError == "" {
+			rep.FirstError = ws.firstErr
+		}
+	}
+	rep.OK = rep.StatusCounts[http.StatusOK]
+	rep.Failed = rep.Requests - rep.OK
+	if elapsed > 0 {
+		rep.RPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	sort.Float64s(lats)
+	rep.P50Us = percentile(lats, 50)
+	rep.P99Us = percentile(lats, 99)
+	return rep, nil
+}

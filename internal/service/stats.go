@@ -1,0 +1,132 @@
+package service
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"adelie/internal/workload"
+)
+
+// Stats is the /v1/statsz snapshot: pool and queue occupancy, lifetime
+// request accounting, fork-pool boot counters, and service-latency
+// percentiles. Throughput is reported both raw and per host core — the
+// PR-6 lesson that fan-out wins scale with cores, so a fleet number
+// only compares across hosts when normalized.
+type Stats struct {
+	PoolSize   int  `json:"pool_size"`
+	QueueCap   int  `json:"queue_cap"`
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"in_flight"`
+	Draining   bool `json:"draining"`
+
+	Requests      uint64 `json:"requests"`       // accepted for processing
+	OK            uint64 `json:"ok"`             // completed successfully
+	Errors        uint64 `json:"errors"`         // failed after admission
+	QueueFull     uint64 `json:"queue_full"`     // shed with 503
+	Timeouts      uint64 `json:"timeouts"`       // gave up while queued
+	LeasesGranted uint64 `json:"leases_granted"` //
+	LeasesRevoked uint64 `json:"leases_revoked"` // TTL expiries
+
+	// Machine-pool boot accounting (fork-pool counters since startup):
+	// every served run should be a fork, never a cold boot.
+	ForkTemplates int64 `json:"fork_templates"`
+	ForksServed   int64 `json:"forks_served"`
+	ColdBoots     int64 `json:"cold_boots"`
+
+	UptimeUs   float64 `json:"uptime_us"`
+	RPS        float64 `json:"rps"`          // completed requests / uptime
+	RPSPerCore float64 `json:"rps_per_core"` // RPS / GOMAXPROCS
+	Cores      int     `json:"cores"`
+	P50Us      float64 `json:"p50_us"` // service latency incl. queue wait
+	P99Us      float64 `json:"p99_us"`
+}
+
+// latWindow bounds the latency reservoir: percentiles are computed over
+// the most recent completions, so a long-lived daemon reports current
+// behavior, not its boot-time history.
+const latWindow = 4096
+
+// statsCollector accumulates completion counters and a latency ring.
+type statsCollector struct {
+	mu       sync.Mutex
+	start    time.Time
+	base     workload.PoolStats // fork-pool counters at service start
+	requests uint64
+	ok       uint64
+	errors   uint64
+	lats     []float64 // ring of recent latencies (µs)
+	next     int       // ring write cursor once full
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{start: time.Now(), base: workload.ForkPoolStats()}
+}
+
+func (s *statsCollector) admitted() {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) done(d time.Duration, ok bool) {
+	us := float64(d.Nanoseconds()) / 1e3
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ok {
+		s.ok++
+	} else {
+		s.errors++
+	}
+	if len(s.lats) < latWindow {
+		s.lats = append(s.lats, us)
+		return
+	}
+	s.lats[s.next] = us
+	s.next = (s.next + 1) % latWindow
+}
+
+// percentile returns the pth percentile (0–100) of the sorted slice.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// snapshot assembles the full Stats view.
+func (s *statsCollector) snapshot(mgr *leaseMgr, poolSize, queueCap int) Stats {
+	queueDepth, inFlight, granted, queueFull, timeouts, revoked, draining := mgr.snapshot()
+	pool := workload.ForkPoolStats()
+
+	s.mu.Lock()
+	uptime := time.Since(s.start)
+	st := Stats{
+		PoolSize: poolSize, QueueCap: queueCap,
+		QueueDepth: queueDepth, InFlight: inFlight, Draining: draining,
+		Requests: s.requests, OK: s.ok, Errors: s.errors,
+		QueueFull: queueFull, Timeouts: timeouts,
+		LeasesGranted: granted, LeasesRevoked: revoked,
+		ForkTemplates: pool.Templates - s.base.Templates,
+		ForksServed:   pool.Forks - s.base.Forks,
+		ColdBoots:     pool.ColdBoots - s.base.ColdBoots,
+		UptimeUs:      float64(uptime.Nanoseconds()) / 1e3,
+		Cores:         runtime.GOMAXPROCS(0),
+	}
+	lats := append([]float64(nil), s.lats...)
+	s.mu.Unlock()
+
+	if uptime > 0 {
+		st.RPS = float64(st.OK) / uptime.Seconds()
+		st.RPSPerCore = st.RPS / float64(st.Cores)
+	}
+	sort.Float64s(lats)
+	st.P50Us = percentile(lats, 50)
+	st.P99Us = percentile(lats, 99)
+	return st
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitOverride(t *testing.T) {
+	if k, v, err := SplitOverride("ops=100"); err != nil || k != "ops" || v != "100" {
+		t.Fatalf("SplitOverride(ops=100) = %q, %q, %v", k, v, err)
+	}
+	// "=" in the value survives (first cut wins).
+	if k, v, err := SplitOverride("a=b=c"); err != nil || k != "a" || v != "b=c" {
+		t.Fatalf("SplitOverride(a=b=c) = %q, %q, %v", k, v, err)
+	}
+	for _, bad := range []string{"ops", "=100", ""} {
+		if _, _, err := SplitOverride(bad); err == nil {
+			t.Fatalf("SplitOverride(%q): want error", bad)
+		}
+	}
+}
+
+func TestResolveOverrides(t *testing.T) {
+	exp, ok := Experiments.Lookup("fig9")
+	if !ok {
+		t.Fatal("fig9 not registered")
+	}
+
+	// Plain override lands; untouched params keep their defaults.
+	p, sweepParam, sweepValues, err := exp.ResolveOverrides(false, []string{"ops=123"}, true)
+	if err != nil || sweepParam != "" || sweepValues != nil {
+		t.Fatalf("plain override: %v %q %v", err, sweepParam, sweepValues)
+	}
+	if got := p.Int64("ops"); got != 123 {
+		t.Fatalf("ops = %d, want 123", got)
+	}
+
+	// Quick defaults apply before overrides.
+	pq, _, _, err := exp.ResolveOverrides(true, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, _, _, _ := exp.ResolveOverrides(false, nil, true)
+	if pq.Int64("ops") >= pd.Int64("ops") {
+		t.Fatalf("quick ops %d not reduced from default %d", pq.Int64("ops"), pd.Int64("ops"))
+	}
+
+	// A range yields the sweep and pins the param to the first point.
+	p, sweepParam, sweepValues, err = exp.ResolveOverrides(false, []string{"ops=100..300:100"}, true)
+	if err != nil || sweepParam != "ops" {
+		t.Fatalf("range override: %v %q", err, sweepParam)
+	}
+	if len(sweepValues) != 3 || sweepValues[0] != 100 || sweepValues[2] != 300 {
+		t.Fatalf("sweep values: %v", sweepValues)
+	}
+	if got := p.Int64("ops"); got != 100 {
+		t.Fatalf("ops pinned to %d, want first point 100", got)
+	}
+
+	// Two distinct ranges is an error.
+	if _, _, _, err := exp.ResolveOverrides(false, []string{"ops=1..2", "seed=3..4"}, true); err == nil ||
+		!strings.Contains(err.Error(), "one -p range per run") {
+		t.Fatalf("two ranges: %v", err)
+	}
+
+	// Unknown keys: error under strict, skipped otherwise.
+	if _, _, _, err := exp.ResolveOverrides(false, []string{"bogus=1"}, true); err == nil {
+		t.Fatal("strict unknown key: want error")
+	}
+	if _, _, _, err := exp.ResolveOverrides(false, []string{"bogus=1"}, false); err != nil {
+		t.Fatalf("lenient unknown key: %v", err)
+	}
+
+	// Malformed values error regardless of strictness.
+	for _, bad := range []string{"ops=abc", "ops=1.5", "ops"} {
+		if _, _, _, err := exp.ResolveOverrides(false, []string{bad}, false); err == nil {
+			t.Fatalf("ResolveOverrides(%q): want error", bad)
+		}
+	}
+}
+
+func TestCheckOverrides(t *testing.T) {
+	if err := Experiments.CheckOverrides([]string{"fig9", "fig5b"}, []string{"ops=100", "seed=2"}); err != nil {
+		t.Fatalf("valid overrides: %v", err)
+	}
+	// Key matching any one selected experiment is enough.
+	if err := Experiments.CheckOverrides([]string{"fig1", "fig9"}, []string{"ops=100"}); err != nil {
+		t.Fatalf("partially-matched key: %v", err)
+	}
+	for _, tc := range []struct {
+		overrides []string
+		want      string
+	}{
+		{[]string{"bogus=1"}, "no selected experiment"},
+		{[]string{"ops=abc"}, "not an integer"},
+		{[]string{"ops=5..1"}, ""},
+		{[]string{"ops"}, "want key=val"},
+	} {
+		err := Experiments.CheckOverrides([]string{"fig9"}, tc.overrides)
+		if err == nil {
+			t.Fatalf("CheckOverrides(%v): want error", tc.overrides)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("CheckOverrides(%v) = %v, want mention of %q", tc.overrides, err, tc.want)
+		}
+	}
+}

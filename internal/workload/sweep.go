@@ -30,36 +30,73 @@ type poolKey struct {
 
 // forkPool caches frozen snapshot templates while a parallel sweep (or
 // any caller of EnableForkPool) is active. Disabled, newMachine boots
-// cold and the pool costs one atomic load.
+// cold and the pool costs one atomic load. Enables nest: the fleet
+// service holds the pool open for its whole lifetime while each sweep
+// request's RunSweep still brackets itself with Enable/Disable — the
+// templates are torn down only when the last enabler leaves.
 var forkPool struct {
 	on   atomic.Bool
 	mu   sync.Mutex
+	refs int
 	tmpl map[poolKey]*sim.Machine
+
+	// Lifetime counters for statsz-style reporting (PoolStats).
+	templates atomic.Int64
+	forks     atomic.Int64
+	coldBoots atomic.Int64
 }
 
-// EnableForkPool turns on snapshot/fork boot caching: until
+// EnableForkPool turns on snapshot/fork boot caching: until the matching
 // DisableForkPool, every newMachine call forks a pooled template
 // instead of cold-booting (falling back to a cold boot if the machine
 // shape cannot fork, e.g. under a reclaimer without fork support).
+// Enable/Disable pairs nest.
 func EnableForkPool() {
 	forkPool.mu.Lock()
 	defer forkPool.mu.Unlock()
+	forkPool.refs++
 	if forkPool.tmpl == nil {
 		forkPool.tmpl = map[poolKey]*sim.Machine{}
 	}
 	forkPool.on.Store(true)
 }
 
-// DisableForkPool turns boot caching back off and releases every
-// template's copy-on-write frame references.
+// DisableForkPool undoes one EnableForkPool; when the last enabler
+// leaves, boot caching turns back off and every template's
+// copy-on-write frame references are released.
 func DisableForkPool() {
 	forkPool.mu.Lock()
 	defer forkPool.mu.Unlock()
+	if forkPool.refs > 0 {
+		forkPool.refs--
+	}
+	if forkPool.refs > 0 {
+		return
+	}
 	forkPool.on.Store(false)
 	for _, m := range forkPool.tmpl {
 		m.Release()
 	}
 	forkPool.tmpl = nil
+}
+
+// PoolStats reports the fork pool's lifetime boot accounting: templates
+// frozen, machines served as copy-on-write forks, and machines that had
+// to cold-boot while the pool was enabled (a fork-pool miss — the
+// service's "no cold boot per request" contract watches this stay 0).
+type PoolStats struct {
+	Templates int64 `json:"templates"`
+	Forks     int64 `json:"forks"`
+	ColdBoots int64 `json:"cold_boots"`
+}
+
+// ForkPoolStats returns the pool's cumulative counters.
+func ForkPoolStats() PoolStats {
+	return PoolStats{
+		Templates: forkPool.templates.Load(),
+		Forks:     forkPool.forks.Load(),
+		ColdBoots: forkPool.coldBoots.Load(),
+	}
 }
 
 // poolFork serves one machine from the template pool, booting and
@@ -85,12 +122,14 @@ func poolFork(c Config, seed int64, queues int, driverNames []string) (*sim.Mach
 			return nil, false // unforkable shape: cold boots from here on
 		}
 		forkPool.tmpl[key] = m
+		forkPool.templates.Add(1)
 		tmpl = m
 	}
 	f, err := tmpl.Fork()
 	if err != nil {
 		return nil, false
 	}
+	forkPool.forks.Add(1)
 	return f, true
 }
 

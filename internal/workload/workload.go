@@ -70,6 +70,9 @@ func newMachineQ(c Config, seed int64, queues int, driverNames ...string) (*sim.
 	if m, ok := poolFork(c, seed, queues, driverNames); ok {
 		return m, nil
 	}
+	if forkPool.on.Load() {
+		forkPool.coldBoots.Add(1) // pool miss: unforkable shape or fork failure
+	}
 	return bootMachineQ(c, seed, queues, driverNames...)
 }
 
