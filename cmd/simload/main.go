@@ -78,6 +78,7 @@ func main() {
 		fmt.Printf("  wall %.2fs  rps %.1f  rps/core %.1f (%d cores)\n",
 			rep.ElapsedUs/1e6, rep.RPS, rep.RPSPerCore, runtime.GOMAXPROCS(0))
 		fmt.Printf("  latency p50 %.1fms  p99 %.1fms\n", rep.P50Us/1e3, rep.P99Us/1e3)
+		fmt.Printf("  queue wait p50 %.1fms  p99 %.1fms\n", rep.QueueWaitP50Us/1e3, rep.QueueWaitP99Us/1e3)
 		if rep.FirstError != "" {
 			fmt.Printf("  first error: %s\n", rep.FirstError)
 		}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"adelie/internal/mm"
+	"adelie/internal/obs"
 )
 
 // Device is a bus-attachable device: an MMIO register block with a
@@ -345,6 +346,16 @@ func (ic *IntController) Route(line int) int {
 	return ic.routes[line]
 }
 
+// Process-wide interrupt counters, resolved once: raise runs on the hot
+// concurrent device path (multi-queue NICs raise from several goroutines
+// per round), so the per-event cost must stay one atomic add — not a
+// registry mutex + map lookup.
+var (
+	mIRQsRaised    = obs.Default.Counter("adelie_bus_irqs_raised_total")
+	mIRQsDelivered = obs.Default.Counter("adelie_bus_irqs_delivered_total")
+	mIRQsSpurious  = obs.Default.Counter("adelie_bus_irqs_spurious_total")
+)
+
 // raise marks a line pending. Repeated raises before delivery coalesce,
 // keeping the earliest pendingSince: the merged interrupt covers the
 // oldest waiting work. Raising is commutative, which is what makes the
@@ -353,6 +364,7 @@ func (ic *IntController) raise(line int, pendingSince uint64) {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
 	ic.raised[line]++
+	mIRQsRaised.Inc()
 	if since, ok := ic.pending[line]; !ok || pendingSince < since {
 		ic.pending[line] = pendingSince
 	}
@@ -395,8 +407,10 @@ func (ic *IntController) NoteDelivered(p PendingIRQ, atCycle uint64, handled boo
 		if atCycle > p.Since {
 			ic.latSum[p.Line] += atCycle - p.Since
 		}
+		mIRQsDelivered.Inc()
 	} else {
 		ic.spurious[p.Line]++
+		mIRQsSpurious.Inc()
 	}
 }
 

@@ -122,6 +122,17 @@ type CPU struct {
 	decodeHits, decodeMisses uint64
 	blockHits, blockMisses   uint64
 	chainMisses              uint64
+
+	// sampler, when non-nil, is the observability profiler hook: invoked
+	// with the current RIP every sampleEvery simulated cycles, checked at
+	// block-retire boundaries (and native/single-step retires) so the
+	// disabled cost is one predicted nil-compare per block. Samples are
+	// driven by the virtual clock (c.Cycles), never host time, and must
+	// not mutate guest state — the figure contract is that attaching a
+	// sampler changes nothing simulated.
+	sampler     func(va uint64)
+	sampleEvery uint64
+	sampleNext  uint64
 }
 
 // decodeChunkBytes is the granularity at which decode storage is
@@ -247,6 +258,28 @@ func (c *CPU) SetNativeRange(lo, hi uint64) {
 
 // NativeTable returns the CPU's native dispatch table.
 func (c *CPU) NativeTable() map[uint64]*Native { return c.natives }
+
+// SetSampler installs (or, with a nil fn, removes) the profiler sample
+// hook: fn is called with the current RIP every `every` simulated
+// cycles, at the next block/native/instruction retire after the period
+// elapses. The hook observes only — it runs on the vCPU's own lane
+// goroutine and must not touch guest state or charge cycles.
+func (c *CPU) SetSampler(every uint64, fn func(va uint64)) {
+	if fn == nil || every == 0 {
+		c.sampler, c.sampleEvery, c.sampleNext = nil, 0, 0
+		return
+	}
+	c.sampler = fn
+	c.sampleEvery = every
+	c.sampleNext = c.Cycles + every
+}
+
+// takeSample fires the sampler and arms the next period. Kept out of
+// line so the retire-path check stays a two-word compare.
+func (c *CPU) takeSample() {
+	c.sampleNext = c.Cycles + c.sampleEvery
+	c.sampler(c.RIP)
+}
 
 // Fault is an execution error with machine context attached.
 type Fault struct {
@@ -411,6 +444,9 @@ func (c *CPU) Step() (bool, error) {
 	}
 	c.Insts++
 	c.Cycles += CostInst
+	if c.sampler != nil && c.Cycles >= c.sampleNext {
+		c.takeSample()
+	}
 	return c.exec(&in)
 }
 
@@ -418,6 +454,9 @@ func (c *CPU) Step() (bool, error) {
 // return semantics.
 func (c *CPU) runNative(n *Native) (bool, error) {
 	c.Cycles += n.Cost
+	if c.sampler != nil && c.Cycles >= c.sampleNext {
+		c.takeSample() // RIP still holds the native's entry VA
+	}
 	if err := n.Fn(c); err != nil {
 		return false, c.fault("native "+n.Name, err)
 	}

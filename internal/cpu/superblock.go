@@ -235,6 +235,9 @@ func (c *CPU) runChain(sb *superblock) (bool, error) {
 		c.Insts += n
 		c.Cycles += n * CostInst
 		c.Blocks++
+		if c.sampler != nil && c.Cycles >= c.sampleNext {
+			c.takeSample()
+		}
 		if halted || err != nil {
 			return halted, err
 		}

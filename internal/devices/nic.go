@@ -5,6 +5,7 @@ import (
 
 	"adelie/internal/bus"
 	"adelie/internal/mm"
+	"adelie/internal/obs"
 )
 
 // NIC is an E1000E-flavoured ring-buffer network adapter with up to
@@ -550,4 +551,15 @@ func (x *XHCI) MMIOWrite(off uint64, val uint64) {
 	if off == XHCIRegControl && val == 1 {
 		x.connected = true
 	}
+}
+
+// ObsStats implements obs.StatSource: cumulative ring counters the
+// engine delta-samples at round barriers to derive NIC trace events.
+func (n *NIC) ObsStats(dst []obs.Stat) []obs.Stat {
+	return append(dst,
+		obs.Stat{Name: "tx_frames", Value: n.TxFrames},
+		obs.Stat{Name: "rx_frames", Value: n.RxFrames},
+		obs.Stat{Name: "dropped", Value: n.Dropped},
+		obs.Stat{Name: "irqs_asserted", Value: n.IRQsAsserted},
+	)
 }

@@ -16,6 +16,7 @@ import (
 
 	"adelie/internal/bus"
 	"adelie/internal/mm"
+	"adelie/internal/obs"
 )
 
 // Latency model (cycles at the 2.2 GHz nominal clock). NVMeCacheLatency
@@ -308,4 +309,16 @@ func EncodeSQEntry(op, lba, count, buf uint64) []byte {
 	binary.LittleEndian.PutUint64(b[16:], count)
 	binary.LittleEndian.PutUint64(b[24:], buf)
 	return b
+}
+
+// ObsStats implements obs.StatSource: cumulative submit/complete
+// counters the engine delta-samples at round barriers to derive NVMe
+// trace events.
+func (d *NVMe) ObsStats(dst []obs.Stat) []obs.Stat {
+	return append(dst,
+		obs.Stat{Name: "reads", Value: d.Reads},
+		obs.Stat{Name: "writes", Value: d.Writes},
+		obs.Stat{Name: "cache_hits", Value: d.CacheHits},
+		obs.Stat{Name: "irqs_asserted", Value: d.IRQsAsserted},
+	)
 }

@@ -42,11 +42,13 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"adelie/internal/bus"
 	"adelie/internal/cpu"
 	"adelie/internal/kernel"
+	"adelie/internal/obs"
 	"adelie/internal/rerand"
 )
 
@@ -77,6 +79,23 @@ type RunConfig struct {
 	// injecting frames into a NIC. They fire during the accounting pass
 	// at round barriers, so their mutations are deterministic.
 	Actors []Actor
+
+	// Trace, when non-nil, receives the measurement's cycle-stamped
+	// event stream: per-lane round retire summaries, TLB refill and
+	// device counter deltas, IRQ raise→deliver→ISR-done, rerand epochs
+	// and copy-on-write detaches, all emitted from the single-threaded
+	// barrier passes and merged in deterministic (clock, track, seq)
+	// order. Tracing never changes a figure — no event charges cycles
+	// or touches guest state — and the merged stream is byte-identical
+	// run to run for the same seed.
+	Trace *obs.Tracer
+
+	// Profile, when non-nil, aggregates virtual-clock samples for this
+	// run. The engine does not consume it directly: sim.Machine.Run
+	// attaches per-vCPU samplers symbolized against its kernel before
+	// delegating here (the field rides on RunConfig so callers opt in
+	// at the same place they opt into tracing).
+	Profile *obs.Profiler
 }
 
 // RunResult is one measured configuration — a point on a §5 figure.
@@ -121,6 +140,26 @@ type Engine struct {
 	R     *rerand.Randomizer // optional; stepped as a clocked actor
 	Bus   *bus.Bus           // optional; devices, epoch set, interrupts
 	Epoch []EpochDevice      // devices needing round-granular determinism
+
+	// Trace state for the current Run (nil / unused when the run is not
+	// traced). Set at Run entry, cleared on return; serviceIRQs reads it
+	// to stamp raise/deliver/ISR events.
+	tr      *obs.Tracer
+	trIRQ   int // "irq" track id (device-side raise timeline)
+	trMM    int // "mm" track id (fork / COW-detach events)
+	devObs  []engineDevObs
+	tlbPrev []uint64
+	cowPrev int64
+}
+
+// engineDevObs is one StatSource device under delta sampling. prev is
+// the last committed sample; cur is a scratch buffer reused every round
+// so barrier sampling stays allocation-free on quiet rounds.
+type engineDevObs struct {
+	tid  int
+	src  obs.StatSource
+	prev []obs.Stat
+	cur  []obs.Stat
 }
 
 // New returns an engine over k. r may be nil (no re-randomization) and
@@ -185,6 +224,12 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 		res.IRQCyclesPerLane = make([]uint64, ncpu)
 	}
 	clk := NewClock()
+	e.beginTrace(cfg.Trace, lanes)
+	defer func() { e.tr = nil }()
+	var trRerand int
+	if e.tr != nil && e.R != nil && cfg.RerandPeriodUs > 0 {
+		trRerand = e.tr.Track("rerand")
+	}
 	if e.R != nil && cfg.RerandPeriodUs > 0 {
 		clk.Schedule(Actor{
 			Name:     "rerand",
@@ -196,6 +241,29 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 				}
 				res.RerandCycles += rep.Cycles
 				res.RerandSteps++
+				obs.Default.Counter("adelie_rerand_epochs_total").Inc()
+				obs.Default.Counter("adelie_rerand_modules_moved_total").Add(uint64(rep.ModulesMoved))
+				obs.Default.Counter("adelie_rerand_pages_remapped_total").Add(rep.PagesRemapped)
+				if e.tr != nil {
+					// Epoch begin→end as one span: begin at the firing
+					// clock, duration = the randomizer thread's modeled
+					// cost, args carrying the moved-module list.
+					names := make([]string, 0, len(e.R.Modules()))
+					for _, m := range e.R.Modules() {
+						names = append(names, m.Name)
+					}
+					sort.Strings(names)
+					e.tr.Lane(trRerand).Emit(obs.Event{
+						Clk: uint64(clk.NowUs() * (CPUHz / 1e6)), Dur: rep.Cycles,
+						Track: trRerand, Kind: obs.KindRerand, Name: "rerand epoch",
+						Args: []obs.Arg{
+							obs.ArgS("moved", strings.Join(names, ",")),
+							obs.ArgU("pages_remapped", rep.PagesRemapped),
+							obs.ArgU("got_entries", rep.GotEntries),
+							obs.ArgI("stacks_retired", int64(rep.StacksRetired)),
+						},
+					})
+				}
 				return nil
 			},
 		})
@@ -286,11 +354,22 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 			}
 		}
 
+		// Trace window: with the round fully accounted, derive per-lane
+		// retire summaries and counter deltas — all from state the
+		// accounting pass already collected, so tracing costs nothing
+		// when off and no simulated cycles ever.
+		if e.tr != nil {
+			e.traceRound(clk, laps[:n])
+		}
+
 		// Interrupt window: with the round fully accounted and every vCPU
 		// still quiescent, publish the clock, step coalescing timers, and
 		// deliver pending lines to their ISRs.
 		if err := e.serviceIRQs(clk, &res, false); err != nil {
 			return res, err
+		}
+		if e.tr != nil {
+			e.tr.Barrier()
 		}
 	}
 
@@ -298,6 +377,9 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	// their thresholds are signalled and drained before metrics derive.
 	if err := e.serviceIRQs(clk, &res, true); err != nil {
 		return res, err
+	}
+	if e.tr != nil {
+		e.tr.Barrier()
 	}
 
 	elapsedUs := clk.NowUs()
@@ -314,7 +396,112 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 		// time is CPU time too, like the randomizer thread's.
 		res.CPUUsagePct = (float64(res.BusyCycles) + float64(res.RerandCycles) + float64(res.IRQCycles)) / totalCycles * 100
 	}
+	reg := obs.Default
+	reg.Counter("adelie_engine_runs_total").Inc()
+	reg.Counter("adelie_engine_ops_total").Add(uint64(cfg.Ops))
+	reg.Counter("adelie_engine_busy_cycles_total").Add(res.BusyCycles)
+	reg.Counter("adelie_engine_blocks_total").Add(res.Blocks)
+	reg.Counter("adelie_engine_chained_blocks_total").Add(res.ChainedBlocks)
+	reg.Counter("adelie_engine_irqs_total").Add(res.IRQs)
+	reg.Counter("adelie_engine_irq_cycles_total").Add(res.IRQCycles)
 	return res, nil
+}
+
+// beginTrace arms the engine's trace state for one Run: allocates the
+// non-vCPU tracks and snapshots the cumulative counters (per-lane TLB
+// misses, device stats, COW detaches) that traceRound delta-samples at
+// every barrier.
+func (e *Engine) beginTrace(tr *obs.Tracer, lanes int) {
+	e.tr = tr
+	if tr == nil {
+		return
+	}
+	e.trIRQ = tr.Track("irq")
+	e.trMM = tr.Track("mm")
+	e.devObs = e.devObs[:0]
+	if e.Bus != nil {
+		for _, d := range e.Bus.Devices() {
+			if src, ok := d.(obs.StatSource); ok {
+				e.devObs = append(e.devObs, engineDevObs{
+					tid:  tr.Track(d.DevName()),
+					src:  src,
+					prev: src.ObsStats(nil),
+				})
+			}
+		}
+	}
+	e.tlbPrev = make([]uint64, lanes)
+	for l := range e.tlbPrev {
+		_, miss, _ := e.K.CPU(l).TLB.Stats()
+		e.tlbPrev[l] = miss
+	}
+	e.cowPrev = e.K.AS.Phys().COWDetaches()
+}
+
+// traceRound emits the round's retire summaries and counter deltas. It
+// runs on the accounting goroutine with every vCPU quiescent; events
+// carry the post-accounting barrier clock except where a device stamped
+// an earlier raise time.
+func (e *Engine) traceRound(clk *Clock, laps []lap) {
+	now := uint64(clk.NowUs() * (CPUHz / 1e6))
+	for l := range laps {
+		lane := e.tr.Lane(l)
+		// Idle lanes (no op this round) emit nothing: a narrow workload
+		// on a wide machine would otherwise pay one empty summary per
+		// idle vCPU per round — the dominant traced-dd cost — and the
+		// gaps render more honestly in Perfetto anyway.
+		if laps[l].blocks != 0 || laps[l].busy != 0 {
+			args := lane.ArgBuf(3)
+			args[0] = obs.ArgU("blocks", laps[l].blocks)
+			args[1] = obs.ArgU("chained", laps[l].chained)
+			args[2] = obs.ArgU("busy_cycles", laps[l].busy)
+			lane.Emit(obs.Event{
+				Clk: now, Track: l, Kind: obs.KindRound, Name: "round", Args: args,
+			})
+		}
+		_, miss, _ := e.K.CPU(l).TLB.Stats()
+		if d := miss - e.tlbPrev[l]; d > 0 {
+			e.tlbPrev[l] = miss
+			args := lane.ArgBuf(1)
+			args[0] = obs.ArgU("misses", d)
+			lane.Emit(obs.Event{
+				Clk: now, Track: l, Kind: obs.KindTLB, Name: "tlb-refill", Args: args,
+			})
+		}
+	}
+	for i := range e.devObs {
+		d := &e.devObs[i]
+		d.cur = d.src.ObsStats(d.cur[:0])
+		// Count deltas before carving arena space: most rounds most
+		// devices are quiet, and a speculative carve per device per
+		// round would burn arena chunks on nothing.
+		n := 0
+		for j := range d.cur {
+			if d.cur[j].Value > d.prev[j].Value {
+				n++
+			}
+		}
+		if n > 0 {
+			args := e.tr.Lane(d.tid).ArgBuf(n)[:0]
+			for j := range d.cur {
+				if delta := d.cur[j].Value - d.prev[j].Value; delta > 0 {
+					args = append(args, obs.ArgU(d.cur[j].Name, delta))
+				}
+			}
+			d.prev = append(d.prev[:0], d.cur...)
+			e.tr.Lane(d.tid).Emit(obs.Event{
+				Clk: now, Track: d.tid, Kind: obs.KindDev, Name: "dev", Args: args,
+			})
+		}
+	}
+	if cow := e.K.AS.Phys().COWDetaches(); cow != e.cowPrev {
+		delta := cow - e.cowPrev
+		e.cowPrev = cow
+		e.tr.Lane(e.trMM).Emit(obs.Event{
+			Clk: now, Track: e.trMM, Kind: obs.KindMM, Name: "cow-detach",
+			Args: []obs.Arg{obs.ArgI("frames", delta)},
+		})
+	}
 }
 
 // serviceIRQs runs the barrier interrupt window: publish the virtual
@@ -414,6 +601,33 @@ func (e *Engine) serviceIRQs(clk *Clock, res *RunResult, force bool) error {
 				res.IRQCyclesPerLane[p.VCPU] += d.cycles
 			}
 			ic.NoteDelivered(p, now, d.handled)
+			if e.tr != nil {
+				// Raise on the device-side irq track at the assert clock;
+				// deliver→ISR-done as a span on the routed vCPU's track.
+				handled := uint64(0)
+				if d.handled {
+					handled = 1
+				}
+				irqLane := e.tr.Lane(e.trIRQ)
+				rargs := irqLane.ArgBuf(2)
+				rargs[0] = obs.ArgU("line", uint64(p.Line))
+				rargs[1] = obs.ArgU("vcpu", uint64(p.VCPU))
+				irqLane.Emit(obs.Event{
+					Clk: p.Since, Track: e.trIRQ, Kind: obs.KindIRQRaise,
+					Name: fmt.Sprintf("raise L%d", p.Line),
+					Args: rargs,
+				})
+				cpuLane := e.tr.Lane(p.VCPU)
+				iargs := cpuLane.ArgBuf(3)
+				iargs[0] = obs.ArgU("line", uint64(p.Line))
+				iargs[1] = obs.ArgU("raised_at", p.Since)
+				iargs[2] = obs.ArgU("handled", handled)
+				cpuLane.Emit(obs.Event{
+					Clk: now, Dur: d.cycles, Track: p.VCPU, Kind: obs.KindISR,
+					Name: fmt.Sprintf("isr L%d", p.Line),
+					Args: iargs,
+				})
+			}
 		}
 		if !force {
 			return nil

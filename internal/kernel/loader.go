@@ -6,6 +6,7 @@ import (
 	"adelie/internal/elfmod"
 	"adelie/internal/isa"
 	"adelie/internal/mm"
+	"adelie/internal/obs"
 )
 
 // stubSize is the bytes reserved per PLT stub:
@@ -60,6 +61,7 @@ func (k *Kernel) Load(obj *elfmod.Object) (*Module, error) {
 	k.mu.Lock()
 	k.modules[obj.Name] = m
 	k.mu.Unlock()
+	obs.Default.Counter("adelie_kernel_modules_loaded_total").Inc()
 	return m, nil
 }
 

@@ -178,6 +178,56 @@ func (m *Module) ContentSize() uint64 {
 // re-randomization.
 func (m *Module) Rerandomizable() bool { return m.Obj.Rerandomizable }
 
+// FindFunc resolves a guest VA inside the module to the name of the
+// function containing it. Resolution is stable *through*
+// re-randomization: a move changes only Part.Base, never a function's
+// offset within its part, so a profiler sample taken in any epoch
+// attributes to the same symbol. The second return is false when the VA
+// is outside both parts or lands on non-function bytes (GOT and PLT
+// pages, data sections with no covering symbol).
+func (m *Module) FindFunc(va uint64) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range []*Part{&m.Movable, &m.Immovable} {
+		if p.Size == 0 || va < p.Base || va >= p.Base+p.Size {
+			continue
+		}
+		off := va - p.Base
+		// Locate the object section containing the offset. Sections
+		// within a part never overlap, so map iteration order cannot
+		// change the answer.
+		for sec, so := range p.secOff {
+			size := uint64(len(m.Obj.Sections[sec].Data))
+			if size == 0 {
+				size = m.Obj.Sections[sec].Size
+			}
+			if off < so || off >= so+size {
+				continue
+			}
+			inSec := off - so
+			// Best-match function symbol: the greatest Offset at or
+			// below the section offset whose Size (when declared)
+			// covers it; offset ties break by name for determinism.
+			name, bestOff, found := "", uint64(0), false
+			for i := range m.Obj.Symbols {
+				s := &m.Obj.Symbols[i]
+				if s.Kind != elfmod.SymFunc || s.Section != sec || s.Offset > inSec {
+					continue
+				}
+				if s.Size > 0 && inSec >= s.Offset+s.Size {
+					continue
+				}
+				if !found || s.Offset > bestOff || (s.Offset == bestOff && s.Name < name) {
+					name, bestOff, found = s.Name, s.Offset, true
+				}
+			}
+			return name, found
+		}
+		return "", false
+	}
+	return "", false
+}
+
 // Rerandomize performs one re-randomization cycle (paper §4.2):
 //
 //  1. pick a fresh random base for the movable part;

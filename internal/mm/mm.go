@@ -135,8 +135,9 @@ type frameData struct {
 // independently while the FrameID namespace (and everything keyed by it:
 // page tables, module bookkeeping, decode caches) stays valid verbatim.
 type frameSlot struct {
-	mu sync.Mutex // serializes copy-on-write on this slot
-	fd atomic.Pointer[frameData]
+	mu  sync.Mutex // serializes copy-on-write on this slot
+	fd  atomic.Pointer[frameData]
+	ctr *atomic.Int64 // owning machine's COW-detach counter (PhysMem.detaches)
 }
 
 // load returns the slot's current frame record.
@@ -146,7 +147,11 @@ func (s *frameSlot) load() *frameData { return s.fd.Load() }
 // copy-on-write sharing first: if the record is shared, its bytes are
 // copied into a fresh private record whose content version is bumped —
 // which is exactly what invalidates decoded-instruction caches,
-// superblocks and chain links built against the shared bytes.
+// superblocks and chain links built against the shared bytes. The
+// detach is counted on the owning machine's observability counter
+// (s.ctr), sampled by the engine at round barriers; the counter lives
+// on the slot — not the hot translation Entry — so the TLB's cached
+// entries stay one cache-line-friendly word narrower.
 func (s *frameSlot) private() *frameData {
 	fd := s.fd.Load()
 	if fd.refs.Load() == 1 {
@@ -164,6 +169,9 @@ func (s *frameSlot) private() *frameData {
 	nfd.refs.Store(1)
 	s.fd.Store(nfd)
 	fd.refs.Add(-1)
+	if s.ctr != nil {
+		s.ctr.Add(1)
+	}
 	return nfd
 }
 
@@ -182,7 +190,8 @@ type PhysMem struct {
 
 	allocated   atomic.Int64 // currently live frames
 	totalAllocs atomic.Int64
-	released    bool // Release was called (teardown); second call panics
+	detaches    atomic.Int64 // copy-on-write detaches (see COWDetaches)
+	released    bool         // Release was called (teardown); second call panics
 }
 
 // NewPhysMem returns an empty physical memory.
@@ -222,6 +231,7 @@ func (p *PhysMem) Alloc() FrameID {
 			nf.refs.Store(1)
 			s.fd.Store(nf)
 			f.refs.Add(-1)
+			p.detaches.Add(1)
 			return id
 		}
 		f.data = [PageSize]byte{}
@@ -234,7 +244,7 @@ func (p *PhysMem) Alloc() FrameID {
 	fs := p.table()
 	nfs := make([]*frameSlot, len(fs)+1)
 	copy(nfs, fs)
-	ns := &frameSlot{}
+	ns := &frameSlot{ctr: &p.detaches}
 	ns.fd.Store(newFrameData())
 	nfs[len(fs)] = ns
 	p.slots.Store(&nfs)
@@ -284,6 +294,11 @@ func (p *PhysMem) Frame(id FrameID) []byte { return p.frame(id).data[:] }
 // helpers, device DMA, the loader) must use it instead of Frame.
 func (p *PhysMem) WritableFrame(id FrameID) []byte { return p.slot(id).private().data[:] }
 
+// COWDetaches returns how many frames this machine has detached from
+// copy-on-write sharing (first writes after a fork). The engine samples
+// the counter at round barriers to derive per-round trace events.
+func (p *PhysMem) COWDetaches() int64 { return p.detaches.Load() }
+
 // Fork returns a copy-on-write clone of this physical memory: a new slot
 // table pointing at the same frame records with every refcount bumped.
 // The clone and the original then detach frames independently on first
@@ -293,15 +308,15 @@ func (p *PhysMem) Fork() *PhysMem {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	src := p.table()
+	np := &PhysMem{free: append([]FrameID(nil), p.free...)}
 	nslots := make([]*frameSlot, len(src))
 	for i, s := range src {
 		fd := s.fd.Load()
 		fd.refs.Add(1)
-		ns := &frameSlot{}
+		ns := &frameSlot{ctr: &np.detaches}
 		ns.fd.Store(fd)
 		nslots[i] = ns
 	}
-	np := &PhysMem{free: append([]FrameID(nil), p.free...)}
 	np.slots.Store(&nslots)
 	np.allocated.Store(p.allocated.Load())
 	np.totalAllocs.Store(p.totalAllocs.Load())

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; feeds happen at epoch boundaries (engine run end,
+// rerand step, module load, request completion), never on per-op hot
+// paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// GaugeFunc supplies a gauge's current value at scrape time.
+type GaugeFunc func() float64
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// exposition shape: _bucket{le=...}, _sum, _count).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the package-level Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]GaugeFunc
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]GaugeFunc),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry: simulation layers feed it, and
+// adelie-simd's /v1/metricsz scrapes it.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or replaces) a function-backed gauge.
+func (r *Registry) Gauge(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]uint64, len(bounds))}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), name-sorted for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]GaugeFunc, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(counters) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(gauges[name]()))
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		h.mu.Lock()
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(h.sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.count)
+		h.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,44 @@
+// Package obs is the deterministic observability layer: a cycle-accurate
+// event tracer, a virtual-clock sampling profiler, and a metrics
+// registry with Prometheus text exposition.
+//
+// The package is a stdlib-only leaf — every simulation layer (cpu, mm,
+// bus, kernel, rerand, devices, engine, sim, service) may import it
+// without cycles. Its contract mirrors the engine's deterministic-clock
+// contract:
+//
+//   - Trace events are stamped with the *virtual* clock (simulated
+//     cycles), never host time, and are emitted only from the engine's
+//     single-threaded barrier passes, so the same seed produces a
+//     byte-identical trace file run to run — something a real-hardware
+//     tracer can never promise.
+//   - Enabling tracing or profiling never changes a figure: no event or
+//     sample charges simulated cycles, mutates guest state, or perturbs
+//     an RNG stream. Tables render byte-identical with observability on
+//     or off (the workload test suite enforces this over the whole
+//     experiment registry).
+//   - Profiler samples fire every N simulated cycles at block-retire
+//     boundaries behind a nil-check fast path in the CPU, and are
+//     symbolized eagerly against the kernel's module/function map — so
+//     a sample attributes to the function symbol, not to the transient
+//     VA a re-randomization epoch is about to invalidate.
+package obs
+
+// Stat is one named cumulative device counter, sampled by the engine at
+// round barriers to derive per-round delta events (NVMe submits and
+// completions, NIC ring activity).
+type Stat struct {
+	Name  string
+	Value uint64
+}
+
+// StatSource is implemented by devices that expose cumulative counters
+// for barrier-time delta sampling. The engine discovers sources by
+// interface assertion over the machine's bus, the same way it discovers
+// epoch devices; ObsStats must append the same stat names in the same
+// order on every call (values monotonically non-decreasing). The
+// append-into-dst shape lets the engine sample every device at every
+// round barrier without a per-round allocation.
+type StatSource interface {
+	ObsStats(dst []Stat) []Stat
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultSampleEvery is the default profiler sample period in simulated
+// cycles (~4.5 µs of virtual time at the testbed's 2.2 GHz): fine enough
+// to attribute a microsecond-scale op, coarse enough that symbolization
+// cost stays invisible next to interpretation.
+const DefaultSampleEvery = 10000
+
+// Profiler aggregates virtual-clock samples. Each vCPU records into its
+// own ProfLane (single writer, no locks — the same per-lane discipline
+// as the engine's counters), keyed by an already-symbolized frame string
+// ("module;function"), so a sample taken before a re-randomization epoch
+// and one taken after it land on the same key even though the VA moved.
+type Profiler struct {
+	// Every is the sample period in simulated cycles; 0 selects
+	// DefaultSampleEvery.
+	Every uint64
+
+	mu    sync.Mutex
+	lanes []*ProfLane
+}
+
+// Period returns the effective sample period.
+func (p *Profiler) Period() uint64 {
+	if p.Every == 0 {
+		return DefaultSampleEvery
+	}
+	return p.Every
+}
+
+// ProfLane is one vCPU's sample bucket.
+type ProfLane struct {
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewLane allocates a sample bucket for one more vCPU.
+func (p *Profiler) NewLane() *ProfLane {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := &ProfLane{counts: make(map[string]uint64)}
+	p.lanes = append(p.lanes, l)
+	return l
+}
+
+// Hit records one sample against a symbolized frame.
+func (l *ProfLane) Hit(sym string) {
+	l.counts[sym]++
+	l.total++
+}
+
+// ProfEntry is one merged flat-profile row.
+type ProfEntry struct {
+	Sym   string
+	Count uint64
+}
+
+// Flat merges every lane and returns entries sorted by count descending,
+// ties by symbol name — a deterministic top-of-profile table.
+func (p *Profiler) Flat() []ProfEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	merged := make(map[string]uint64)
+	for _, l := range p.lanes {
+		for sym, n := range l.counts {
+			merged[sym] += n
+		}
+	}
+	out := make([]ProfEntry, 0, len(merged))
+	for sym, n := range merged {
+		out = append(out, ProfEntry{Sym: sym, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sym < out[j].Sym
+	})
+	return out
+}
+
+// Total returns the total sample count across lanes.
+func (p *Profiler) Total() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, l := range p.lanes {
+		n += l.total
+	}
+	return n
+}
+
+// WriteCollapsed renders the profile in folded-stack format — one
+// "frame;frame count" line per entry, name-sorted — directly consumable
+// by flamegraph.pl / speedscope / inferno.
+func (p *Profiler) WriteCollapsed(w io.Writer) error {
+	entries := p.Flat()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Sym < entries[j].Sym })
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		fmt.Fprintf(bw, "%s %d\n", e.Sym, e.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteFlat renders the merged profile as an aligned text table with
+// sample shares, top entries first.
+func (p *Profiler) WriteFlat(w io.Writer) error {
+	entries := p.Flat()
+	var total uint64
+	for _, e := range entries {
+		total += e.Count
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%8s  %6s  %s\n", "samples", "share", "symbol")
+	for _, e := range entries {
+		share := 0.0
+		if total > 0 {
+			share = float64(e.Count) / float64(total) * 100
+		}
+		fmt.Fprintf(bw, "%8d  %5.1f%%  %s\n", e.Count, share, e.Sym)
+	}
+	fmt.Fprintf(bw, "%8d  100.0%%  (total, sample period %d cycles)\n", total, p.Period())
+	return bw.Flush()
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"adelie/internal/obs"
 	"adelie/internal/workload"
 )
 
@@ -23,6 +25,13 @@ type RunRequest struct {
 	Experiment string         `json:"experiment"`
 	Params     map[string]any `json:"params,omitempty"`
 	Quick      bool           `json:"quick,omitempty"`
+
+	// Trace asks /v1/run to record the run's deterministic event trace
+	// and attach it to the reply as Chrome trace_event JSON. Traced
+	// requests serialize on the daemon's exclusive observability session;
+	// machines booted by concurrently running untraced requests join the
+	// trace too (the fleet-wide view).
+	Trace bool `json:"trace,omitempty"`
 
 	// Sweep-only knobs. Parallel defaults to true (fan the points across
 	// the pool on fork-served boots); false is the serial reference
@@ -39,6 +48,11 @@ type RunReply struct {
 	Params    map[string]int64 `json:"params"`
 	Table     *workload.Table  `json:"table"`
 	ElapsedUs float64          `json:"elapsed_us,omitempty"`
+
+	// Trace is the run's Chrome trace_event JSON when the request set
+	// "trace": true (already-marshaled bytes; byte-deterministic for a
+	// given experiment and params).
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // SweepReply is the POST /v1/sweep result: one RunReply per point.
@@ -199,8 +213,26 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer l.Release()
-	s.stats.admitted()
-	tab, err := res.exp.Run(res.params)
+	s.stats.admitted(l.Waited())
+	w.Header().Set("X-Adelie-Queue-Wait-Us", strconv.FormatInt(l.Waited().Microseconds(), 10))
+	var traceJSON json.RawMessage
+	run := func() (*workload.Table, error) { return res.exp.Run(res.params) }
+	if res.req.Trace {
+		run = func() (*workload.Table, error) {
+			sess, end := workload.BeginObs(true, false)
+			tab, err := res.exp.Run(res.params)
+			end()
+			if err == nil {
+				var buf bytes.Buffer
+				if werr := sess.Trace.WriteJSON(&buf); werr != nil {
+					return nil, werr
+				}
+				traceJSON = buf.Bytes()
+			}
+			return tab, err
+		}
+	}
+	tab, err := run()
 	if err != nil {
 		s.stats.done(time.Since(start), false)
 		writeError(w, http.StatusInternalServerError, "%s: %v", res.exp.Name, err)
@@ -210,6 +242,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		return RunReply{
 			Name: res.exp.Name, Params: res.params.Map(), Table: tab,
 			ElapsedUs: float64(elapsed.Nanoseconds()) / 1e3,
+			Trace:     traceJSON,
 		}
 	})
 }
@@ -238,7 +271,8 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer l.Release()
-	s.stats.admitted()
+	s.stats.admitted(l.Waited())
+	w.Header().Set("X-Adelie-Queue-Wait-Us", strconv.FormatInt(l.Waited().Microseconds(), 10))
 	pts, err := workload.RunSweep(res.exp, res.params, res.sweepParam, res.sweepValues, parallel, workers)
 	if err != nil {
 		s.stats.done(time.Since(start), false)
@@ -283,4 +317,12 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleStatsz serves GET /v1/statsz.
 func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsNow())
+}
+
+// handleMetricsz serves GET /v1/metricsz: the process-wide obs registry
+// in Prometheus text exposition format — engine, bus, kernel, rerand and
+// service counters from every layer the run touched.
+func (s *Service) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
 }

@@ -31,10 +31,18 @@ type lease struct {
 	mgr      *leaseMgr
 	id       uint64
 	granted  time.Time
-	deadline time.Time // granted + TTL; past this the janitor revokes
-	revoked  bool      // slot already reclaimed; result must be discarded
+	waited   time.Duration // time spent in the FIFO queue (0: granted on arrival)
+	deadline time.Time     // granted + TTL; past this the janitor revokes
+	revoked  bool          // slot already reclaimed; result must be discarded
 	released bool
 }
+
+// Waited returns how long the request queued before this lease was
+// granted — zero for the fast path that found a free slot on arrival.
+// Splitting this out of the service latency is what lets an operator
+// tell "the pool is too small" (wait grows, run steady) from "the
+// experiments got slower" (run grows).
+func (l *lease) Waited() time.Duration { return l.waited }
 
 // Revoked reports whether the lease's TTL expired before Release.
 func (l *lease) Revoked() bool {
@@ -63,6 +71,7 @@ func (l *lease) Release() {
 // waiter is one queued Acquire.
 type waiter struct {
 	ch        chan *lease // buffered 1; the grantor never blocks
+	enqueued  time.Time   // when the request joined the queue
 	abandoned bool        // Acquire gave up (deadline) before a grant
 }
 
@@ -118,7 +127,7 @@ func (m *leaseMgr) Acquire(ctx context.Context) (*lease, error) {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	w := &waiter{ch: make(chan *lease, 1)}
+	w := &waiter{ch: make(chan *lease, 1), enqueued: time.Now()}
 	m.waiters = append(m.waiters, w)
 	m.mu.Unlock()
 
@@ -162,7 +171,9 @@ func (m *leaseMgr) returnSlotLocked() {
 		if w.abandoned {
 			continue
 		}
-		w.ch <- m.grantLocked()
+		l := m.grantLocked()
+		l.waited = l.granted.Sub(w.enqueued)
+		w.ch <- l
 		return
 	}
 	m.free++

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,12 @@ type LoadReport struct {
 	RPSPerCore   float64     `json:"rps_per_core,omitempty"` // filled by callers that know core count
 	P50Us        float64     `json:"p50_us"`
 	P99Us        float64     `json:"p99_us"`
+	// QueueWaitP50Us/P99Us split the lease queue wait out of the service
+	// latency above (reported by the daemon per-response in the
+	// X-Adelie-Queue-Wait-Us header): they isolate "waiting for a pool
+	// slot" from "running the experiment".
+	QueueWaitP50Us float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99Us float64 `json:"queue_wait_p99_us"`
 	// FirstError carries one representative failure body for diagnosis.
 	FirstError string `json:"first_error,omitempty"`
 }
@@ -83,6 +90,7 @@ func RunLoad(opts LoadOpts) (*LoadReport, error) {
 
 	type workerStats struct {
 		lats     []float64
+		qlats    []float64
 		statuses map[int]int
 		firstErr string
 	}
@@ -113,6 +121,9 @@ func RunLoad(opts LoadOpts) (*LoadReport, error) {
 				ws.statuses[resp.StatusCode]++
 				if resp.StatusCode == http.StatusOK {
 					ws.lats = append(ws.lats, float64(time.Since(t0).Nanoseconds())/1e3)
+					if qw, err := strconv.ParseFloat(resp.Header.Get("X-Adelie-Queue-Wait-Us"), 64); err == nil {
+						ws.qlats = append(ws.qlats, qw)
+					}
 				} else if ws.firstErr == "" {
 					ws.firstErr = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
 				}
@@ -127,10 +138,11 @@ func RunLoad(opts LoadOpts) (*LoadReport, error) {
 		StatusCounts: map[int]int{},
 		ElapsedUs:    float64(elapsed.Nanoseconds()) / 1e3,
 	}
-	var lats []float64
+	var lats, qlats []float64
 	for i := range perWorker {
 		ws := &perWorker[i]
 		lats = append(lats, ws.lats...)
+		qlats = append(qlats, ws.qlats...)
 		for code, n := range ws.statuses {
 			rep.StatusCounts[code] += n
 		}
@@ -146,5 +158,8 @@ func RunLoad(opts LoadOpts) (*LoadReport, error) {
 	sort.Float64s(lats)
 	rep.P50Us = percentile(lats, 50)
 	rep.P99Us = percentile(lats, 99)
+	sort.Float64s(qlats)
+	rep.QueueWaitP50Us = percentile(qlats, 50)
+	rep.QueueWaitP99Us = percentile(qlats, 99)
 	return rep, nil
 }

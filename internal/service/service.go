@@ -143,5 +143,6 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
 	return mux
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"adelie/internal/obs"
 	"adelie/internal/workload"
 )
 
@@ -41,6 +42,13 @@ type Stats struct {
 	Cores      int     `json:"cores"`
 	P50Us      float64 `json:"p50_us"` // service latency incl. queue wait
 	P99Us      float64 `json:"p99_us"`
+
+	// Queue-wait percentiles over the same completion window: the lease
+	// wait alone, excluding the experiment run. Wait growing while run
+	// time holds steady means the pool is undersized — the two phases
+	// regress for different reasons, so statsz reports them split.
+	QueueWaitP50Us float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99Us float64 `json:"queue_wait_p99_us"`
 }
 
 // latWindow bounds the latency reservoir: percentiles are computed over
@@ -58,16 +66,28 @@ type statsCollector struct {
 	errors   uint64
 	lats     []float64 // ring of recent latencies (µs)
 	next     int       // ring write cursor once full
+	qlats    []float64 // ring of recent lease queue waits (µs)
+	qnext    int
 }
 
 func newStatsCollector() *statsCollector {
 	return &statsCollector{start: time.Now(), base: workload.ForkPoolStats()}
 }
 
-func (s *statsCollector) admitted() {
+func (s *statsCollector) admitted(queueWait time.Duration) {
+	us := float64(queueWait.Nanoseconds()) / 1e3
 	s.mu.Lock()
 	s.requests++
+	if len(s.qlats) < latWindow {
+		s.qlats = append(s.qlats, us)
+	} else {
+		s.qlats[s.qnext] = us
+		s.qnext = (s.qnext + 1) % latWindow
+	}
 	s.mu.Unlock()
+	obs.Default.Counter("adelie_service_requests_total").Inc()
+	obs.Default.Histogram("adelie_service_queue_wait_us",
+		100, 1000, 10_000, 100_000, 1_000_000).Observe(us)
 }
 
 func (s *statsCollector) done(d time.Duration, ok bool) {
@@ -76,9 +96,13 @@ func (s *statsCollector) done(d time.Duration, ok bool) {
 	defer s.mu.Unlock()
 	if ok {
 		s.ok++
+		obs.Default.Counter("adelie_service_ok_total").Inc()
 	} else {
 		s.errors++
+		obs.Default.Counter("adelie_service_errors_total").Inc()
 	}
+	obs.Default.Histogram("adelie_service_latency_us",
+		1000, 10_000, 100_000, 1_000_000, 10_000_000).Observe(us)
 	if len(s.lats) < latWindow {
 		s.lats = append(s.lats, us)
 		return
@@ -119,6 +143,7 @@ func (s *statsCollector) snapshot(mgr *leaseMgr, poolSize, queueCap int) Stats {
 		Cores:         runtime.GOMAXPROCS(0),
 	}
 	lats := append([]float64(nil), s.lats...)
+	qlats := append([]float64(nil), s.qlats...)
 	s.mu.Unlock()
 
 	if uptime > 0 {
@@ -128,5 +153,8 @@ func (s *statsCollector) snapshot(mgr *leaseMgr, poolSize, queueCap int) Stats {
 	sort.Float64s(lats)
 	st.P50Us = percentile(lats, 50)
 	st.P99Us = percentile(lats, 99)
+	sort.Float64s(qlats)
+	st.QueueWaitP50Us = percentile(qlats, 50)
+	st.QueueWaitP99Us = percentile(qlats, 99)
 	return st
 }

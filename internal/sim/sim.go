@@ -21,6 +21,7 @@ import (
 	"adelie/internal/engine"
 	"adelie/internal/kernel"
 	"adelie/internal/mm"
+	"adelie/internal/obs"
 	"adelie/internal/rerand"
 )
 
@@ -60,6 +61,9 @@ type Machine struct {
 
 	mods   map[string]*kernel.Module
 	frozen bool // set by Snapshot: machine is a fork template, refuses Run/Call
+
+	tracer *obs.Tracer   // default event tracer for Run (AttachObs)
+	prof   *obs.Profiler // installed sampling profiler, if any (AttachObs)
 }
 
 // NewMachine boots the testbed: kernel, bus, and the Table-1 device set
@@ -329,6 +333,15 @@ func (m *Machine) Engine() *engine.Engine {
 func (m *Machine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	if m.frozen {
 		return RunResult{}, fmt.Errorf("sim: machine is a frozen snapshot template; Fork it to run")
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = m.tracer
+	}
+	if cfg.Profile != nil {
+		// Per-run profiler: install for the duration of this run, then
+		// restore whatever AttachObs left in place.
+		m.installProfiler(cfg.Profile)
+		defer m.installProfiler(m.prof)
 	}
 	return m.Engine().Run(cfg, op)
 }

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"adelie/internal/obs"
+	"adelie/internal/sim"
+)
+
+// ObsSession is one exclusive observability window: every machine booted
+// (or forked) by the workload layer while the session is open gets a
+// trace process in Trace and/or sample lanes in Profile.
+type ObsSession struct {
+	Trace   *obs.TraceSession // nil unless tracing was requested
+	Profile *obs.Profiler     // nil unless profiling was requested
+}
+
+// obsExcl serializes observability sessions: exactly one observed run at
+// a time, so a trace's machine set — and therefore its pid assignment —
+// is a pure function of the observed experiment. obsActive is the
+// currently open session, read lock-free on every machine boot (boots by
+// unobserved callers proceed concurrently and see nil).
+var (
+	obsExcl   sync.Mutex
+	obsActive atomic.Pointer[ObsSession]
+)
+
+// BeginObs opens an observability session and returns it with its close
+// function. Sessions are exclusive — a second BeginObs blocks until the
+// first closes — which is what makes traces deterministic: machines
+// enter the trace in boot order, and the boot sequence of a seeded
+// experiment is fixed. Callers that boot machines concurrently with an
+// open session (the fleet service handling untraced requests alongside a
+// traced one) will see those machines join the trace too; that is the
+// fleet-wide view, documented in README, not a race.
+func BeginObs(trace, profile bool) (*ObsSession, func()) {
+	obsExcl.Lock()
+	s := &ObsSession{}
+	if trace {
+		s.Trace = &obs.TraceSession{}
+	}
+	if profile {
+		s.Profile = &obs.Profiler{}
+	}
+	obsActive.Store(s)
+	return s, func() {
+		obsActive.Store(nil)
+		obsExcl.Unlock()
+	}
+}
+
+// attachObs joins a freshly provided machine to the open observability
+// session, if any. The trace process name encodes the boot request
+// (config, seed, queue shape, drivers) so multi-machine traces stay
+// legible; pid is assigned by boot order inside the session. Forked
+// machines carry a "fork" instant on their memory-system track so the
+// trace distinguishes pool forks from cold boots.
+func attachObs(m *sim.Machine, c Config, seed int64, queues int, forked bool, driverNames []string) {
+	s := obsActive.Load()
+	if s == nil {
+		return
+	}
+	var tr *obs.Tracer
+	if s.Trace != nil {
+		name := fmt.Sprintf("%s seed=%d", c, seed)
+		if queues > 1 {
+			name += fmt.Sprintf(" q%d", queues)
+		}
+		if len(driverNames) > 0 {
+			name += " [" + strings.Join(driverNames, ",") + "]"
+		}
+		tr = s.Trace.Tracer(name, m.K.NumCPUs())
+		if forked {
+			tr.Emit(obs.Event{Track: tr.Track("mm"), Kind: obs.KindMM, Name: "fork"})
+		}
+	}
+	if tr != nil || s.Profile != nil {
+		m.AttachObs(tr, s.Profile)
+	}
+}

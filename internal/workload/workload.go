@@ -68,12 +68,17 @@ func newMachine(c Config, seed int64, driverNames ...string) (*sim.Machine, erro
 // shape via newMachine).
 func newMachineQ(c Config, seed int64, queues int, driverNames ...string) (*sim.Machine, error) {
 	if m, ok := poolFork(c, seed, queues, driverNames); ok {
+		attachObs(m, c, seed, queues, true, driverNames)
 		return m, nil
 	}
 	if forkPool.on.Load() {
 		forkPool.coldBoots.Add(1) // pool miss: unforkable shape or fork failure
 	}
-	return bootMachineQ(c, seed, queues, driverNames...)
+	m, err := bootMachineQ(c, seed, queues, driverNames...)
+	if err == nil {
+		attachObs(m, c, seed, queues, false, driverNames)
+	}
+	return m, err
 }
 
 // NewBenchMachine is the exported machine factory for harness
