@@ -584,6 +584,14 @@ const (
 	// in host microseconds per simulated op — the observability overhead
 	// gate (target: within 5% of the untraced dd figure).
 	ddTracedKey = "dd_traced_us"
+	// ddChainPctKey / ddIChainPctKey are the dd hot-path chain rates:
+	// the percentage of retired basic blocks entered via any trace link,
+	// and via the monomorphic indirect target cache specifically. Both
+	// gate higher-is-better — a collapse (with unchanged simulated MBps)
+	// means the hot path fell back to dispatch, the regression the
+	// wall-clock gate alone can't attribute.
+	ddChainPctKey  = "fig5b_dd64_picret_chain_pct"
+	ddIChainPctKey = "fig5b_dd64_picret_ichain_pct"
 )
 
 // gatedPath is one metric the -check gate compares: a key, which record
@@ -608,6 +616,8 @@ var gatedPaths = []gatedPath{
 	{serviceRPSKey, true, "rps", true},
 	{serviceP99Key, true, "us", false},
 	{ddTracedKey, true, "us", false},
+	{ddChainPctKey, true, "%", true},
+	{ddIChainPctKey, true, "%", true},
 }
 
 // regressionMargin is how much slower than the best recorded baseline
@@ -772,13 +782,13 @@ func selfbench(jsonPath string, scale, reps int) error {
 			return err
 		}
 		rec.Metrics["fig5b_dd64_picret_mbps"] = dd.MBps
-		// Chain rate: share of retired basic blocks entered by following
-		// a trace link instead of returning to the dispatch loop. A
-		// collapse here (with unchanged simulated MBps) means the hot
-		// path fell back to per-block dispatch — the regression the
-		// wall-clock gate alone can't attribute.
+		// Chain rates: share of retired basic blocks entered by following
+		// a trace link instead of returning to the dispatch loop, and the
+		// indirect-cache share of that specifically. Both are gated
+		// higher-is-better by -check (see ddChainPctKey).
 		if dd.Blocks > 0 {
-			rec.Metrics["fig5b_dd64_picret_chain_pct"] = 100 * float64(dd.ChainedBlocks) / float64(dd.Blocks)
+			rec.Metrics[ddChainPctKey] = 100 * float64(dd.ChainedBlocks) / float64(dd.Blocks)
+			rec.Metrics[ddIChainPctKey] = 100 * float64(dd.IndirectChained) / float64(dd.Blocks)
 		}
 		return nil
 	})

@@ -26,7 +26,9 @@ func (c *CPU) CloneFor(as *mm.AddressSpace, natives map[uint64]*Native) *CPU {
 	n.Insts = c.Insts
 	n.Blocks = c.Blocks
 	n.ChainedBlocks = c.ChainedBlocks
+	n.IndirectChained = c.IndirectChained
 	n.chainOn = c.chainOn
+	n.indirectOn = c.indirectOn
 	n.decodeHits, n.decodeMisses = c.decodeHits, c.decodeMisses
 	n.blockHits, n.blockMisses = c.blockHits, c.blockMisses
 	n.chainMisses = c.chainMisses

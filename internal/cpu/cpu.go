@@ -95,6 +95,14 @@ type CPU struct {
 	lastBlockFrame mm.FrameID
 	lastPB         *pageBlocks
 
+	// entry is the dispatch entry cache: a small direct-mapped cache of
+	// dispatch-path block resolutions keyed by entry VA, validated by
+	// the same triple as a trace link. It lets a repeated Call (or any
+	// repeated dispatch to the same VA — syscall entries, ISR handlers)
+	// re-enter its hot trace without the dispatch-table resolution.
+	// Active only with chainOn; see stepBlock.
+	entry [entryCacheSlots]chainLink
+
 	// blockGen is the native-table epoch of every cached superblock.
 	// invalidateBlocks bumps it, so chain links — which hold direct
 	// superblock pointers that bypass the blocks map — can never follow
@@ -106,14 +114,35 @@ type CPU struct {
 	// at New so a toggle mid-measurement cannot desynchronize lanes.
 	chainOn bool
 
+	// indirectOn enables the monomorphic indirect-branch target cache,
+	// latched from the package-wide default (SetIndirect,
+	// ADELIE_NOINDIRECT) the same way. Meaningful only with chainOn.
+	indirectOn bool
+
+	// memFast arms the TLB resident word probes (mm.TLB.LoadPage and
+	// StorePage) inside a block's execute loop: between block boundaries no native,
+	// actor or IRQ can run, so the address-space generation cannot change
+	// and the per-access generation re-check is redundant. Cleared at
+	// every block boundary and on the first MMIO access of a block.
+	memFast bool
+
 	// Blocks counts basic blocks retired via block execution. The engine
 	// samples it per round slot the same way it samples Cycles.
 	Blocks uint64
 
-	// ChainedBlocks counts the subset of Blocks entered by following a
-	// chain link — block→block transfers that never returned to the
-	// dispatch loop. The engine samples it alongside Blocks.
+	// ChainedBlocks counts the subset of Blocks entered through a
+	// validated cached link instead of a full dispatch resolution: a
+	// trace link from the preceding block (direct or indirect,
+	// including the return-target link of an inlined native call) or
+	// the per-vCPU dispatch entry cache. The engine samples it
+	// alongside Blocks; the chain rate ChainedBlocks/Blocks is the
+	// fraction of block entries that skipped the dispatch tables.
 	ChainedBlocks uint64
+
+	// IndirectChained counts the subset of ChainedBlocks entered through
+	// the monomorphic indirect target cache (RET/indirect exits whose
+	// dynamic target matched the cached successor).
+	IndirectChained uint64
 
 	// decodeHits/decodeMisses count per-instruction cache consultations;
 	// blockHits/blockMisses count superblock consultations;
@@ -194,6 +223,7 @@ func New(id int, as *mm.AddressSpace) *CPU {
 		blocks:         make(map[mm.FrameID]*pageBlocks),
 		lastBlockFrame: mm.NoFrame,
 		chainOn:        chainingEnabled.Load(),
+		indirectOn:     indirectEnabled.Load(),
 	}
 }
 
@@ -208,8 +238,9 @@ func (c *CPU) BlockCacheStats() (hits, misses uint64) {
 }
 
 // ChainStats returns the trace-linking counters: hits is the number of
-// blocks entered by following a chain link (== ChainedBlocks), misses
-// the number of linkable block exits that dispatched instead.
+// blocks entered by following a chain link (== ChainedBlocks, direct and
+// indirect alike), misses the number of link-eligible block exits that
+// dispatched instead.
 func (c *CPU) ChainStats() (hits, misses uint64) {
 	return c.ChainedBlocks, c.chainMisses
 }
@@ -304,8 +335,20 @@ func (c *CPU) fault(reason string, err error) error {
 
 // load64 reads a 64-bit value through the TLB with cycle accounting.
 // TLB hits on ordinary memory are served straight from the frame bytes
-// cached in the entry — no page walk, no allocator lock.
+// cached in the entry — no page walk, no allocator lock. Inside a block
+// (memFast armed) the lookup is the resident fast probe: one front-cache
+// index, no generation re-check, identical hit accounting; an MMIO hit
+// disarms the probe for the rest of the block and re-charges through the
+// slow path so device accounting stays on one code path.
 func (c *CPU) load64(va uint64) (uint64, error) {
+	if c.memFast {
+		if b, ok := c.TLB.LoadPage(va); ok {
+			off := va & mm.PageMask
+			return binary.LittleEndian.Uint64(b[off : off+8]), nil
+		}
+		// Declined: L1 miss, MMIO page, or straddling access. The full
+		// probe below re-runs the L1 lookup with identical accounting.
+	}
 	e, hit, err := c.TLB.Entry(va, mm.AccessRead)
 	if err != nil {
 		return 0, err
@@ -314,6 +357,7 @@ func (c *CPU) load64(va uint64) (uint64, error) {
 		c.Cycles += CostTLBMiss
 	}
 	if e.Flags&mm.FlagMMIO != 0 {
+		c.memFast = false // device access: slow accounting path from here on
 		c.Cycles += CostMMIO
 		return c.AS.Read64(va) // device register routing
 	}
@@ -325,7 +369,18 @@ func (c *CPU) load64(va uint64) (uint64, error) {
 }
 
 // store64 writes a 64-bit value through the TLB with cycle accounting.
+// The memFast resident probe applies exactly as in load64.
 func (c *CPU) store64(va uint64, val uint64) error {
+	if c.memFast {
+		if b, ok := c.TLB.StorePage(va); ok {
+			off := va & mm.PageMask
+			binary.LittleEndian.PutUint64(b[off:off+8], val)
+			return nil
+		}
+		// Declined: L1 miss, MMIO, read-only, COW, exec-mapped, or
+		// straddling. The full probe below reproduces accounting and
+		// faults verbatim (and performs the COW detach / version bump).
+	}
 	e, hit, err := c.TLB.Entry(va, mm.AccessWrite)
 	if err != nil {
 		return err
@@ -334,6 +389,7 @@ func (c *CPU) store64(va uint64, val uint64) error {
 		c.Cycles += CostTLBMiss
 	}
 	if e.Flags&mm.FlagMMIO != 0 {
+		c.memFast = false // device access: slow accounting path from here on
 		c.Cycles += CostMMIO
 		return c.AS.Write64(va, val) // device register routing
 	}

@@ -1,0 +1,13 @@
+package cpu
+
+import "os"
+
+// envFlag reports whether the named environment flag is enabled. The
+// semantics are: set, non-empty, and not "0". Both mode hooks
+// (ADELIE_NOCHAIN, ADELIE_NOINDIRECT) parse through this one helper so
+// `FLAG=0` reads as "off" everywhere — historically ADELIE_NOCHAIN=0
+// *disabled* chaining because the init check was `Getenv == ""`.
+func envFlag(name string) bool {
+	v := os.Getenv(name)
+	return v != "" && v != "0"
+}

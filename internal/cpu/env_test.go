@@ -1,0 +1,43 @@
+package cpu
+
+import "testing"
+
+func TestEnvFlagSemantics(t *testing.T) {
+	const name = "ADELIE_TEST_FLAG"
+	cases := []struct {
+		set  bool
+		val  string
+		want bool
+	}{
+		{set: false, val: "", want: false}, // unset: off
+		{set: true, val: "", want: false},  // set but empty: off
+		{set: true, val: "0", want: false}, // explicit zero: off
+		{set: true, val: "1", want: true},
+		{set: true, val: "true", want: true},
+		{set: true, val: "00", want: true}, // only the exact string "0" is off
+	}
+	for _, tc := range cases {
+		if tc.set {
+			t.Setenv(name, tc.val)
+		}
+		if got := envFlag(name); got != tc.want {
+			t.Errorf("envFlag(%q) with set=%v val=%q = %v, want %v",
+				name, tc.set, tc.val, got, tc.want)
+		}
+	}
+}
+
+// TestEnvFlagZeroKeepsModesOn pins the historical bug: ADELIE_NOCHAIN=0
+// (and ADELIE_NOINDIRECT=0) must read as "not disabled".
+func TestEnvFlagZeroKeepsModesOn(t *testing.T) {
+	t.Setenv("ADELIE_NOCHAIN", "0")
+	t.Setenv("ADELIE_NOINDIRECT", "0")
+	if envFlag("ADELIE_NOCHAIN") || envFlag("ADELIE_NOINDIRECT") {
+		t.Fatal("FLAG=0 must parse as disabled-flag (modes stay on)")
+	}
+	t.Setenv("ADELIE_NOCHAIN", "1")
+	t.Setenv("ADELIE_NOINDIRECT", "1")
+	if !envFlag("ADELIE_NOCHAIN") || !envFlag("ADELIE_NOINDIRECT") {
+		t.Fatal("FLAG=1 must parse as enabled-flag (modes off)")
+	}
+}

@@ -41,23 +41,74 @@ package cpu
 //     in invalidateBlocks alone cannot retire them — the generation
 //     does, covering natives registered after the link was recorded.
 //
-// Indirect exits (RET, CALLR/JMPR, GOT-indirect CALLM/JMPM) never link:
-// their targets come from registers, the stack or a re-randomizer-
-// patched GOT, so they always take the dispatch path. Chains are bounded
-// (maxChainBlocks) so the Run loop's instruction budget keeps firing and
-// a stepBlock call can never outrun the engine's barrier-synchronized
-// clock boundary: IRQ delivery and re-randomization stay where per-block
-// dispatch put them.
+// Indirect exits (RET, CALLR/JMPR, GOT-indirect CALLM/JMPM) — every
+// retpoline thunk ends in RET — resolve a dynamic target, so they cannot
+// link unconditionally. Instead each such block carries a *monomorphic
+// indirect target cache*: one chainLink recording the last successor the
+// exit resolved to. When the dynamic target VA matches the cached one,
+// the exit follows the link under exactly the same validation triple as
+// a direct link (successor frame content version, address-space
+// generation, native-table generation); on a target mismatch, an empty
+// cache, or failed validation it falls back to the dispatch-path resolve
+// and re-records the newest target. A stale successor cached before a
+// re-randomization epoch can therefore never execute: the remap bumps
+// the address-space generation, the link fails validation, and the
+// dispatch path re-resolves (or faults) exactly as unchained execution
+// would. ADELIE_NOINDIRECT=1 (or SetIndirect(false)) turns only this
+// cache off — direct links stay on — giving CI a three-mode equivalence
+// matrix. Chains are bounded (maxChainBlocks) regardless of link kind,
+// so the Run loop's instruction budget keeps firing and a stepBlock call
+// can never outrun the engine's barrier-synchronized clock boundary: IRQ
+// delivery and re-randomization stay where per-block dispatch put them.
 //
-// Accounting equivalence. A followed link skips the successor's TLB
-// lookup. For working sets within TLB capacity that lookup was a hit by
-// construction (the translation entered the TLB when the link was
-// recorded and nothing evicted it), so charged cycles — and therefore
-// every figure — are bit-identical to unchained execution; CI's
-// cross-mode gate (ADELIE_NOCHAIN=1) enforces this. Under capacity
-// pressure the skipped lookup can elide a refill the unchained path
-// would charge, the same documented exception block execution already
-// has against single-stepping — run-to-run determinism always holds.
+// Native call-site links. An exit (direct or indirect — the hot case is
+// a GOT-indirect CALLM into the core kernel) that resolves to a native
+// entry point records a native-kind link: following it runs the native
+// *inline* inside the chain and then enters the monomorphic cache of the
+// block at the native's return address, so a module→kernel→module round
+// trip costs zero dispatch-loop returns. The native link is validated by
+// the native-table epoch (blockGen — every table mutation bumps it); the
+// return-target block by the full triple above, re-read *after* the
+// native runs, so a native that remaps, re-randomizes or rewrites code
+// sends the return through the dispatch path exactly as unchained
+// execution would. Natives charge the same cost/sample/stack-pop
+// sequence wherever they are invoked, so inlining them is
+// accounting-invisible.
+//
+// Dispatch entry cache. The residual dispatch entries — the first block
+// of each Call (syscall entries, ISR handlers, kernel→module callbacks)
+// and any exit the chain could not resolve — go through a small
+// per-vCPU direct-mapped cache of dispatch resolutions keyed by entry
+// VA, validated like any block link. A hit re-enters the cached trace
+// without the dispatch tables and counts toward ChainedBlocks; the
+// chain-rate metric is therefore the fraction of all block entries that
+// skipped dispatch resolution, whatever boundary they crossed.
+//
+// Accounting equivalence. A followed link — direct or indirect — skips
+// the successor's TLB lookup. For working sets within TLB capacity that
+// lookup was a hit by construction (the translation entered the TLB when
+// the link was recorded and nothing evicted it), so charged cycles — and
+// therefore every figure — are bit-identical to unchained execution;
+// CI's three-mode cross-mode gate (full / ADELIE_NOINDIRECT=1 /
+// ADELIE_NOCHAIN=1) enforces this pairwise. Under capacity pressure the
+// skipped lookup can elide a refill the unchained path would charge, the
+// same documented exception block execution already has against
+// single-stepping — run-to-run determinism always holds.
+//
+// Cost vectors. fetchBlock classifies each block's accounting shape at
+// decode time: a block whose instructions touch no memory and cannot
+// fault mid-block (no UDIV) is marked pure, and runChain retires it with
+// a check-free execute loop plus one precomputed instruction/cycle
+// summary instead of per-instruction bookkeeping. Blocks with memory
+// operations keep per-access accounting but run it through the TLB's
+// resident word probes (mm.TLB.LoadPage/StorePage) while inside a chain:
+// between block boundaries no native, actor or IRQ can run, so the
+// address-space generation cannot change mid-chain and the per-access
+// generation re-check is provably redundant. Any access that turns out
+// to be MMIO disarms the fast probe for the rest of the block (device
+// reads are charged and routed on the slow path), and page-straddling
+// accesses take the slow path as before — every charged cycle, TLB hit
+// and miss is bit-identical in all three modes by construction.
 //
 // Memory-model note: like hardware that requires an instruction-sync
 // barrier after self-modifying stores, a store issued from inside a
@@ -68,7 +119,7 @@ package cpu
 // the successor frame the same way.
 
 import (
-	"os"
+	"encoding/binary"
 	"sync/atomic"
 
 	"adelie/internal/isa"
@@ -76,13 +127,21 @@ import (
 )
 
 // chainingEnabled is the package-wide default latched by New into each
-// vCPU. Trace linking is on unless ADELIE_NOCHAIN is set in the
-// environment (the CI cross-mode equivalence gate) or SetChaining(false)
-// was called (the test hook).
+// vCPU. Trace linking is on unless ADELIE_NOCHAIN is enabled in the
+// environment (the CI cross-mode equivalence gate; see envFlag for the
+// "set, non-empty, not 0" semantics) or SetChaining(false) was called
+// (the test hook).
 var chainingEnabled atomic.Bool
 
+// indirectEnabled gates the monomorphic indirect-branch target cache the
+// same way: off when ADELIE_NOINDIRECT is enabled or SetIndirect(false)
+// was called. With chaining on and indirect off, only direct links chain
+// — the middle column of CI's three-mode equivalence matrix.
+var indirectEnabled atomic.Bool
+
 func init() {
-	chainingEnabled.Store(os.Getenv("ADELIE_NOCHAIN") == "")
+	chainingEnabled.Store(!envFlag("ADELIE_NOCHAIN"))
+	indirectEnabled.Store(!envFlag("ADELIE_NOINDIRECT"))
 }
 
 // SetChaining sets the package-wide trace-linking default for
@@ -96,14 +155,50 @@ func SetChaining(on bool) (was bool) {
 // ChainingEnabled reports the current package-wide default.
 func ChainingEnabled() bool { return chainingEnabled.Load() }
 
-// chainLink records one resolved successor of a superblock exit.
+// SetIndirect sets the package-wide indirect-target-cache default for
+// subsequently created CPUs and reports the previous value. Like
+// SetChaining, existing vCPUs keep the mode they were created with.
+func SetIndirect(on bool) (was bool) {
+	return indirectEnabled.Swap(on)
+}
+
+// IndirectEnabled reports the current package-wide default.
+func IndirectEnabled() bool { return indirectEnabled.Load() }
+
+// chainLink records one resolved successor of a superblock exit (or of
+// the dispatch entry cache). It comes in two kinds:
+//
+//   - block link (sb != nil): the successor is an interpreted block,
+//     validated by the triple {sb.gen == blockGen, gen == AS generation,
+//     ref.Version() == ver} before being entered;
+//   - native call-site link (nat != nil): the successor is a native
+//     kernel function, validated by gen == blockGen alone (the
+//     native-table epoch; natives are dispatched before translation, so
+//     frame versions and the address-space generation do not apply).
+//     Following it runs the native inline and then chains into ret, the
+//     monomorphic cache of the block at the native's return address —
+//     itself a block link validated by the full triple.
 type chainLink struct {
 	va  uint64      // branch-target VA this link covers
 	ver uint64      // successor frame content version when recorded
-	gen uint64      // address-space generation when recorded
+	gen uint64      // AS generation (block) / native-table epoch (native)
 	ref mm.FrameRef // successor frame version handle
-	sb  *superblock // successor block
+	sb  *superblock // successor block (block links)
+	nat *Native     // native entry point (native call-site links)
+	ret *chainLink  // native links: block at the native's return address
 }
+
+// empty reports whether the link slot is unused.
+func (l *chainLink) empty() bool { return l.sb == nil && l.nat == nil }
+
+// entryCacheSlots sizes the per-vCPU dispatch entry cache (direct-mapped,
+// power of two).
+const entryCacheSlots = 16
+
+// entrySlot maps an entry VA to its dispatch-entry-cache slot. Function
+// entry points are commonly 16-aligned, so fold higher bits in rather
+// than using the low bits alone.
+func entrySlot(va uint64) uint64 { return (va ^ va>>4 ^ va>>12) & (entryCacheSlots - 1) }
 
 // superblock is one decoded basic block. Only the final instruction can
 // redirect control (branch/HLT) — or the block was cut at a page
@@ -116,14 +211,50 @@ type superblock struct {
 	// refuse to enter a block from an older native-table epoch.
 	gen uint64
 
-	// linkable marks exits eligible for trace linking: a direct branch
-	// (CALL/JMP/Jcc) or a fall-through cut. Indirect exits and HLT/RET
-	// always dispatch.
+	// linkable marks exits eligible for direct trace linking: a direct
+	// branch (CALL/JMP/Jcc) or a fall-through cut. HLT never links.
 	linkable bool
 
-	// links caches up to two resolved successors — a conditional exit
-	// has exactly two targets (taken and fall-through).
+	// indirect marks exits eligible for the monomorphic indirect target
+	// cache: RET or a register/GOT-indirect branch. The dynamic target
+	// must match ilink.va for the link to be followed.
+	indirect bool
+
+	// pure is the decode-time cost-vector classification: no instruction
+	// in the block touches memory or can fault mid-block, so runChain
+	// retires it with a check-free loop and the precomputed nInsts
+	// summary instead of per-instruction bookkeeping.
+	pure   bool
+	nInsts uint64 // len(insts), precomputed for one-shot accounting
+
+	// links caches up to two resolved successors of a direct exit — a
+	// conditional exit has exactly two targets (taken and fall-through).
 	links [2]chainLink
+
+	// ilink is the monomorphic indirect target cache: the last successor
+	// a RET/indirect exit resolved to. One slot, newest target wins.
+	ilink chainLink
+}
+
+// pureOp reports whether op can neither touch memory nor fault: the
+// allowlist behind the cost-vector pure classification. Branches and HLT
+// appear because they are legal *final* instructions of a pure block
+// (fetchBlock guarantees mid-block instructions are never branches);
+// none of them performs a memory access. Stack ops (PUSH/POP, CALL*,
+// RET), loads/stores and UDIV (divide fault) are excluded.
+func pureOp(op isa.Op) bool {
+	switch op {
+	case isa.OpNOP, isa.OpHLT,
+		isa.OpMOVABS, isa.OpMOVI, isa.OpMOV, isa.OpLEARIP,
+		isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpAND, isa.OpOR, isa.OpIMUL,
+		isa.OpADDI, isa.OpSUBI, isa.OpXORI, isa.OpANDI, isa.OpSHLI, isa.OpSHRI,
+		isa.OpCMP, isa.OpCMPI, isa.OpTEST,
+		isa.OpJMP, isa.OpJMPR,
+		isa.OpJE, isa.OpJNE, isa.OpJL, isa.OpJGE, isa.OpJLE, isa.OpJG,
+		isa.OpJB, isa.OpJAE:
+		return true
+	}
+	return false
 }
 
 // blockChunkBytes is the granularity at which superblock pointer storage
@@ -194,31 +325,56 @@ func (c *CPU) invalidateBlocks() {
 // hot straight-line successors — falling back to a single Step when
 // block execution cannot be used (entry instruction straddles the page
 // boundary or fails to decode). Same contract as Step: (halted, error).
+//
+// With chaining on, the dispatch entry cache is probed first: a
+// validated hit re-enters the cached block's trace without the
+// native-range check or fetchBlock resolution (the native-table epoch in
+// the link guarantees the VA was not, and still is not, a native entry
+// point). A hit counts toward ChainedBlocks — the entry skipped dispatch
+// resolution exactly like a followed trace link.
 func (c *CPU) stepBlock() (bool, error) {
 	rip := c.RIP
 	if rip == HostReturn {
 		return true, nil
+	}
+	if c.chainOn {
+		if l := &c.entry[entrySlot(rip)]; l.sb != nil && l.va == rip &&
+			l.sb.gen == c.blockGen && l.gen == c.AS.Generation() && l.ref.Version() == l.ver {
+			c.ChainedBlocks++
+			return c.runChain(l.sb)
+		}
 	}
 	if rip >= c.nativeLo && rip < c.nativeHi {
 		if n, ok := c.natives[rip]; ok {
 			return c.runNative(n)
 		}
 	}
-	sb, _, err := c.fetchBlock()
+	gen := c.AS.Generation()
+	sb, e, err := c.fetchBlock()
 	if err != nil {
 		return false, c.fault("fetch", err)
 	}
 	if sb == nil {
 		return c.Step()
 	}
+	if c.chainOn {
+		c.entry[entrySlot(rip)] = chainLink{va: rip, ver: e.Version(), gen: gen, ref: e.Ref(), sb: sb}
+	}
 	return c.runChain(sb)
 }
 
-// runChain executes sb and then follows chain links block→block until an
-// exit dispatches (indirect branch, native entry, invalidated or missing
-// link) or the chain bound is reached. Per-block accounting is identical
-// to per-block dispatch.
+// runChain executes sb and then follows chain links block→block —
+// running native call-site links inline — until an exit dispatches
+// (uncached or mismatched indirect target, host return, native→native
+// transfer, invalidated link) or the chain bound is reached. Per-block
+// accounting is identical to per-block dispatch: pure blocks replay
+// their precomputed cost vector, memory blocks run per-access accounting
+// through the resident fast probe.
 func (c *CPU) runChain(sb *superblock) (bool, error) {
+	// The address-space generation can only change inside a native
+	// (chainNative refreshes it); hoisting the atomic read out of the
+	// per-transition link validation is therefore exact.
+	asGen := c.AS.Generation()
 	for depth := 0; ; depth++ {
 		var (
 			n      uint64
@@ -226,12 +382,313 @@ func (c *CPU) runChain(sb *superblock) (bool, error) {
 			err    error
 		)
 		insts := sb.insts
-		for i := range insts {
-			n++
-			if halted, err = c.exec(&insts[i]); halted || err != nil {
-				break
-			}
+		if !sb.pure {
+			// Memory block: per-access accounting, but arm the resident
+			// fast probe — the address-space generation cannot change
+			// between here and the end of the block (no native, actor or
+			// IRQ runs mid-chain), so the per-access generation re-check
+			// is redundant. MMIO disarms it (see load64/store64).
+			c.memFast = true
 		}
+		// Fused execute loop: RIP stays in a local, the hot opcodes run
+		// inline (one exec call per block-final control transfer instead
+		// of one per instruction), and accounting lands in one shot
+		// below. fetchBlock guarantees only the final instruction can
+		// branch or halt; faults sync c.RIP before capture so Fault.RIP
+		// is identical to per-instruction execution.
+		rip := c.RIP
+	exec:
+		for i := range insts {
+			in := &insts[i]
+			n++
+			next := rip + uint64(in.Len)
+			switch in.Op {
+			case isa.OpMOVI, isa.OpMOVABS:
+				c.Regs[in.R1] = uint64(in.Imm)
+			case isa.OpMOV:
+				c.Regs[in.R1] = c.Regs[in.R2]
+			case isa.OpLEARIP:
+				c.Regs[in.R1] = next + uint64(int64(in.Disp))
+			case isa.OpADD:
+				c.Regs[in.R1] += c.Regs[in.R2]
+			case isa.OpSUB:
+				c.Regs[in.R1] -= c.Regs[in.R2]
+			case isa.OpXOR:
+				c.Regs[in.R1] ^= c.Regs[in.R2]
+			case isa.OpAND:
+				c.Regs[in.R1] &= c.Regs[in.R2]
+			case isa.OpOR:
+				c.Regs[in.R1] |= c.Regs[in.R2]
+			case isa.OpIMUL:
+				c.Regs[in.R1] *= c.Regs[in.R2]
+			case isa.OpADDI:
+				c.Regs[in.R1] += uint64(in.Imm)
+			case isa.OpSUBI:
+				c.Regs[in.R1] -= uint64(in.Imm)
+			case isa.OpXORI:
+				c.Regs[in.R1] ^= uint64(in.Imm)
+			case isa.OpANDI:
+				c.Regs[in.R1] &= uint64(in.Imm)
+			case isa.OpSHLI:
+				c.Regs[in.R1] <<= uint64(in.Imm) & 63
+			case isa.OpSHRI:
+				c.Regs[in.R1] >>= uint64(in.Imm) & 63
+			case isa.OpCMP:
+				c.setFlags(c.Regs[in.R1], c.Regs[in.R2])
+			case isa.OpCMPI:
+				c.setFlags(c.Regs[in.R1], uint64(in.Imm))
+			case isa.OpTEST:
+				v := c.Regs[in.R1] & c.Regs[in.R2]
+				c.ZF = v == 0
+				c.SF = int64(v) < 0
+				c.CF = false
+			case isa.OpNOP:
+			// Memory ops probe the TLB's inlinable resident word path
+			// first (see mm.TLB.LoadPage/StorePage — zero calls on a
+			// hit); a declined probe counts nothing and falls back to
+			// load64/store64, whose full path performs identical
+			// accounting. A declined probe re-probes inside the
+			// fallback — harmless duplicate work on the rare path.
+			case isa.OpLOAD:
+				addr := c.Regs[in.R2] + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(addr); ok {
+						off := addr & mm.PageMask
+						c.Regs[in.R1] = binary.LittleEndian.Uint64(b[off : off+8])
+						break
+					}
+				}
+				v, lerr := c.load64(addr)
+				if lerr != nil {
+					c.RIP = rip
+					err = c.fault("load", lerr)
+					break exec
+				}
+				c.Regs[in.R1] = v
+			case isa.OpSTORE:
+				addr := c.Regs[in.R2] + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.StorePage(addr); ok {
+						off := addr & mm.PageMask
+						binary.LittleEndian.PutUint64(b[off:off+8], c.Regs[in.R1])
+						break
+					}
+				}
+				if serr := c.store64(addr, c.Regs[in.R1]); serr != nil {
+					c.RIP = rip
+					err = c.fault("store", serr)
+					break exec
+				}
+			case isa.OpLDRIP:
+				addr := next + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(addr); ok {
+						off := addr & mm.PageMask
+						c.Regs[in.R1] = binary.LittleEndian.Uint64(b[off : off+8])
+						break
+					}
+				}
+				v, lerr := c.load64(addr)
+				if lerr != nil {
+					c.RIP = rip
+					err = c.fault("rip-relative load", lerr)
+					break exec
+				}
+				c.Regs[in.R1] = v
+			case isa.OpSTRIP:
+				addr := next + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.StorePage(addr); ok {
+						off := addr & mm.PageMask
+						binary.LittleEndian.PutUint64(b[off:off+8], c.Regs[in.R1])
+						break
+					}
+				}
+				if serr := c.store64(addr, c.Regs[in.R1]); serr != nil {
+					c.RIP = rip
+					err = c.fault("rip-relative store", serr)
+					break exec
+				}
+			case isa.OpPUSH:
+				// Mirrors Push exactly: value read first (PUSH RSP pushes
+				// the pre-decrement value), RSP stays decremented on fault.
+				v := c.Regs[in.R1]
+				c.Regs[isa.RSP] -= 8
+				addr := c.Regs[isa.RSP]
+				if c.memFast {
+					if b, ok := c.TLB.StorePage(addr); ok {
+						off := addr & mm.PageMask
+						binary.LittleEndian.PutUint64(b[off:off+8], v)
+						break
+					}
+				}
+				if perr := c.store64(addr, v); perr != nil {
+					c.RIP = rip
+					err = c.fault("push", perr)
+					break exec
+				}
+			case isa.OpPOP:
+				// Mirrors Pop exactly: RSP increments before the result
+				// lands in R1, so POP RSP ends with the popped value.
+				addr := c.Regs[isa.RSP]
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(addr); ok {
+						off := addr & mm.PageMask
+						c.Regs[isa.RSP] = addr + 8
+						c.Regs[in.R1] = binary.LittleEndian.Uint64(b[off : off+8])
+						break
+					}
+				}
+				v, perr := c.Pop()
+				if perr != nil {
+					c.RIP = rip
+					err = c.fault("pop", perr)
+					break exec
+				}
+				c.Regs[in.R1] = v
+			case isa.OpJMP:
+				rip = next + uint64(int64(in.Disp))
+				continue // block-final by construction
+			case isa.OpJE, isa.OpJNE, isa.OpJL, isa.OpJGE, isa.OpJLE, isa.OpJG, isa.OpJB, isa.OpJAE:
+				if c.cond(in.Op) {
+					rip = next + uint64(int64(in.Disp))
+				} else {
+					rip = next
+				}
+				continue // block-final by construction
+			// Block-final control transfers with memory operands mirror
+			// exec's cases op for op; each probes the resident word path
+			// first and falls back to the shared exec core (or completes
+			// through Push/store64, which account identically) otherwise.
+			case isa.OpRET:
+				addr := c.Regs[isa.RSP]
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(addr); ok {
+						off := addr & mm.PageMask
+						c.Regs[isa.RSP] = addr + 8
+						rip = binary.LittleEndian.Uint64(b[off : off+8])
+						if rip == HostReturn {
+							halted = true
+							break exec
+						}
+						continue // block-final by construction
+					}
+				}
+				c.RIP = rip
+				halted, err = c.exec(in)
+				rip = c.RIP
+				if halted || err != nil {
+					break exec
+				}
+				continue
+			case isa.OpCALL:
+				if c.memFast {
+					sp := c.Regs[isa.RSP] - 8
+					if b, ok := c.TLB.StorePage(sp); ok {
+						off := sp & mm.PageMask
+						binary.LittleEndian.PutUint64(b[off:off+8], next)
+						c.Regs[isa.RSP] = sp
+						rip = next + uint64(int64(in.Disp))
+						continue // block-final by construction
+					}
+				}
+				if perr := c.Push(next); perr != nil {
+					c.RIP = rip
+					err = c.fault("call", perr)
+					break exec
+				}
+				rip = next + uint64(int64(in.Disp))
+				continue
+			case isa.OpCALLR:
+				if c.memFast {
+					sp := c.Regs[isa.RSP] - 8
+					if b, ok := c.TLB.StorePage(sp); ok {
+						off := sp & mm.PageMask
+						binary.LittleEndian.PutUint64(b[off:off+8], next)
+						c.Regs[isa.RSP] = sp
+						rip = c.Regs[in.R1]
+						continue // block-final by construction
+					}
+				}
+				if perr := c.Push(next); perr != nil {
+					c.RIP = rip
+					err = c.fault("call", perr)
+					break exec
+				}
+				rip = c.Regs[in.R1]
+				continue
+			case isa.OpJMPR:
+				rip = c.Regs[in.R1]
+				if rip == HostReturn {
+					halted = true
+					break exec
+				}
+				continue // block-final by construction
+			case isa.OpCALLM:
+				gva := next + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(gva); ok {
+						off := gva & mm.PageMask
+						target := binary.LittleEndian.Uint64(b[off : off+8])
+						// The GOT load is done (and counted); the push must
+						// complete here — re-entering exec would charge the
+						// load twice.
+						sp := c.Regs[isa.RSP] - 8
+						if b2, ok2 := c.TLB.StorePage(sp); ok2 {
+							off2 := sp & mm.PageMask
+							binary.LittleEndian.PutUint64(b2[off2:off2+8], next)
+							c.Regs[isa.RSP] = sp
+						} else if perr := c.Push(next); perr != nil {
+							c.RIP = rip
+							err = c.fault("call", perr)
+							break exec
+						}
+						rip = target
+						continue // block-final by construction
+					}
+				}
+				c.RIP = rip
+				halted, err = c.exec(in)
+				rip = c.RIP
+				if halted || err != nil {
+					break exec
+				}
+				continue
+			case isa.OpJMPM:
+				gva := next + uint64(int64(in.Disp))
+				if c.memFast {
+					if b, ok := c.TLB.LoadPage(gva); ok {
+						off := gva & mm.PageMask
+						rip = binary.LittleEndian.Uint64(b[off : off+8])
+						if rip == HostReturn {
+							halted = true
+							break exec
+						}
+						continue // block-final by construction
+					}
+				}
+				c.RIP = rip
+				halted, err = c.exec(in)
+				rip = c.RIP
+				if halted || err != nil {
+					break exec
+				}
+				continue
+			default:
+				// Control transfers (CALL*, RET, JMPR/JMPM, HLT) and rare
+				// ops: the shared exec core, with RIP synced across it.
+				c.RIP = rip
+				halted, err = c.exec(in)
+				rip = c.RIP
+				if halted || err != nil {
+					break exec
+				}
+				continue
+			}
+			rip = next
+		}
+		c.RIP = rip
+		c.memFast = false
 		c.Insts += n
 		c.Cycles += n * CostInst
 		c.Blocks++
@@ -241,21 +698,53 @@ func (c *CPU) runChain(sb *superblock) (bool, error) {
 		if halted || err != nil {
 			return halted, err
 		}
-		if !c.chainOn || !sb.linkable || depth >= maxChainBlocks {
+		if !c.chainOn || depth >= maxChainBlocks {
 			return false, nil
 		}
-		rip := c.RIP
+		indirect := false
+		switch {
+		case sb.linkable:
+		case sb.indirect && c.indirectOn:
+			indirect = true
+		default:
+			return false, nil // HLT exit, or indirect with the cache off
+		}
+		// rip still holds the exit target from the execute loop above.
+		// Link lookup. Direct exits key up to two slots (taken and
+		// fall-through); indirect exits use the monomorphic cache and
+		// require the dynamic target to match the recorded VA.
+		var l *chainLink
 		li := -1
-		for i := range sb.links {
-			if sb.links[i].va == rip && sb.links[i].sb != nil {
-				li = i
-				break
+		if indirect {
+			if !sb.ilink.empty() && sb.ilink.va == rip {
+				l = &sb.ilink
+			}
+		} else {
+			for i := range sb.links {
+				if sb.links[i].va == rip && !sb.links[i].empty() {
+					li, l = i, &sb.links[i]
+					break
+				}
 			}
 		}
-		if li >= 0 {
-			l := &sb.links[li]
-			if l.sb.gen == c.blockGen && l.gen == c.AS.Generation() && l.ref.Version() == l.ver {
+		if l != nil {
+			if l.nat != nil {
+				// Native call-site link: valid while the native table is
+				// unchanged since it was recorded.
+				if l.gen == c.blockGen {
+					nsb, halted, err := c.chainNative(l, indirect)
+					if nsb == nil {
+						return halted, err
+					}
+					sb = nsb
+					asGen = c.AS.Generation() // the native may have remapped
+					continue
+				}
+			} else if l.sb.gen == c.blockGen && l.gen == asGen && l.ref.Version() == l.ver {
 				c.ChainedBlocks++
+				if indirect {
+					c.IndirectChained++
+				}
 				sb = l.sb
 				continue
 			}
@@ -268,11 +757,28 @@ func (c *CPU) runChain(sb *superblock) (bool, error) {
 			return true, nil
 		}
 		if rip >= c.nativeLo && rip < c.nativeHi {
-			if _, native := c.natives[rip]; native {
-				return false, nil // kernel entry point: the dispatch loop runs it
+			if nat, native := c.natives[rip]; native {
+				// Kernel entry point: record a native call-site link and
+				// run the native inline — the call, the native and its
+				// return-target block all stay inside the chain.
+				nl := chainLink{va: rip, gen: c.blockGen, nat: nat}
+				if indirect {
+					sb.ilink = nl
+					l = &sb.ilink
+				} else {
+					slot := directSlot(sb, li)
+					sb.links[slot] = nl
+					l = &sb.links[slot]
+				}
+				nsb, halted, err := c.chainNative(l, indirect)
+				if nsb == nil {
+					return halted, err
+				}
+				sb = nsb
+				asGen = c.AS.Generation() // the native may have remapped
+				continue
 			}
 		}
-		gen := c.AS.Generation()
 		nsb, e, ferr := c.fetchBlock()
 		if ferr != nil {
 			return false, c.fault("fetch", ferr)
@@ -280,21 +786,76 @@ func (c *CPU) runChain(sb *superblock) (bool, error) {
 		if nsb == nil {
 			return c.Step() // unbuildable entry: single-step fallback
 		}
-		slot := li // stale link for this va: refresh in place
-		if slot < 0 {
-			for i := range sb.links {
-				if sb.links[i].sb == nil {
-					slot = i
-					break
-				}
-			}
-			if slot < 0 {
-				slot = 1 // both slots live with other targets: evict the newer
-			}
+		nl := chainLink{va: rip, ver: e.Version(), gen: asGen, ref: e.Ref(), sb: nsb}
+		if indirect {
+			sb.ilink = nl // monomorphic: the newest target wins
+		} else {
+			sb.links[directSlot(sb, li)] = nl
 		}
-		sb.links[slot] = chainLink{va: rip, ver: e.Version(), gen: gen, ref: e.Ref(), sb: nsb}
 		sb = nsb
 	}
+}
+
+// directSlot picks the links slot a direct exit's new record goes into:
+// the stale slot already keyed by this target (refresh in place), a free
+// slot, or — with both slots live with other targets — slot 1 (evict the
+// newer).
+func directSlot(sb *superblock, li int) int {
+	if li >= 0 {
+		return li
+	}
+	for i := range sb.links {
+		if sb.links[i].empty() {
+			return i
+		}
+	}
+	return 1
+}
+
+// chainNative runs the native call-site link l inline — without
+// returning to the dispatch loop — and resolves the block at the
+// native's return address, chaining into l.ret when it validates and
+// re-recording it otherwise. Accounting is identical to the dispatch
+// path: runNative charges the same cost/sample/pop sequence wherever it
+// is invoked, and the return-target resolution mirrors the block-link
+// miss path. Returns the next block to execute in the chain; a nil
+// block means runChain must return (halted, err) to the dispatch loop
+// (host return, a native→native transfer, a fault, or the single-step
+// fallback).
+func (c *CPU) chainNative(l *chainLink, indirect bool) (*superblock, bool, error) {
+	if halted, err := c.runNative(l.nat); halted || err != nil {
+		return nil, halted, err
+	}
+	rip := c.RIP
+	// Monomorphic return-target cache, full block-link validation.
+	if r := l.ret; r != nil && r.va == rip &&
+		r.sb.gen == c.blockGen && r.gen == c.AS.Generation() && r.ref.Version() == r.ver {
+		c.ChainedBlocks++
+		if indirect {
+			c.IndirectChained++
+		}
+		return r.sb, false, nil
+	}
+	c.chainMisses++
+	if rip == HostReturn {
+		return nil, true, nil
+	}
+	if rip >= c.nativeLo && rip < c.nativeHi {
+		if _, native := c.natives[rip]; native {
+			return nil, false, nil // native→native: the dispatch loop runs it
+		}
+	}
+	gen := c.AS.Generation()
+	nsb, e, ferr := c.fetchBlock()
+	if ferr != nil {
+		return nil, false, c.fault("fetch", ferr)
+	}
+	if nsb == nil {
+		halted, err := c.Step() // unbuildable entry: single-step fallback
+		return nil, halted, err
+	}
+	l.ret = &chainLink{va: rip, ver: e.Version(), gen: gen, ref: e.Ref(), sb: nsb}
+	return nsb, false, nil
 }
 
 // fetchBlock returns the superblock entered at c.RIP and its translation,
@@ -371,10 +932,22 @@ func (c *CPU) fetchBlock() (*superblock, mm.Entry, error) {
 		return nil, e, nil
 	}
 	switch last := sb.insts[len(sb.insts)-1].Op; {
-	case last == isa.OpHLT, last == isa.OpRET, last.IsIndirectBranch():
-		// Halt or indirect exit: the target is dynamic — never link.
+	case last == isa.OpHLT:
+		// Halt: no successor to link.
+	case last == isa.OpRET, last.IsIndirectBranch():
+		sb.indirect = true // dynamic target: monomorphic indirect cache
 	default:
 		sb.linkable = true // direct branch or fall-through cut
+	}
+	// Cost-vector classification: a block whose every instruction is on
+	// the pure allowlist retires with one precomputed summary.
+	sb.nInsts = uint64(len(sb.insts))
+	sb.pure = true
+	for i := range sb.insts {
+		if !pureOp(sb.insts[i].Op) {
+			sb.pure = false
+			break
+		}
 	}
 	pb.set(off, sb)
 	return sb, e, nil

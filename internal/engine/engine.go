@@ -112,8 +112,13 @@ type RunResult struct {
 	Lanes         int    // vCPUs that physically executed operations
 	Blocks        uint64 // basic blocks retired by lanes (superblock execution)
 	ChainedBlocks uint64 // blocks entered via trace links, no dispatch-loop return
-	IRQs          uint64 // ISR dispatches delivered at clock boundaries
-	IRQCycles     uint64 // cycles spent in ISRs (counted into CPU usage)
+
+	// IndirectChained is the subset of ChainedBlocks entered through the
+	// monomorphic indirect-branch target cache (RET/indirect exits whose
+	// dynamic target matched the cached successor).
+	IndirectChained uint64
+	IRQs            uint64 // ISR dispatches delivered at clock boundaries
+	IRQCycles       uint64 // cycles spent in ISRs (counted into CPU usage)
 
 	// Per-vCPU delivery breakdown (index = vCPU; nil when the machine has
 	// no bus). The aggregate IRQs/IRQCycles fields are kept for
@@ -175,11 +180,12 @@ func New(k *kernel.Kernel, r *rerand.Randomizer, b *bus.Bus) *Engine {
 
 // lap records one lane's physical cost for the op it ran this round.
 type lap struct {
-	busy    uint64
-	wait    uint64
-	blocks  uint64
-	chained uint64
-	err     error
+	busy     uint64
+	wait     uint64
+	blocks   uint64
+	chained  uint64
+	indirect uint64
+	err      error
 }
 
 // Run executes cfg.Ops operations across the vCPUs, interleaving
@@ -335,6 +341,7 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 			res.WaitCycles += laps[l].wait
 			res.Blocks += laps[l].blocks
 			res.ChainedBlocks += laps[l].chained
+			res.IndirectChained += laps[l].indirect
 
 			busyUs := float64(busy) / CPUHz * 1e6
 			latencyUs := float64(busy+laps[l].wait) / CPUHz * 1e6
@@ -402,6 +409,7 @@ func (e *Engine) Run(cfg RunConfig, op OpFunc) (RunResult, error) {
 	reg.Counter("adelie_engine_busy_cycles_total").Add(res.BusyCycles)
 	reg.Counter("adelie_engine_blocks_total").Add(res.Blocks)
 	reg.Counter("adelie_engine_chained_blocks_total").Add(res.ChainedBlocks)
+	reg.Counter("adelie_engine_indirect_chained_total").Add(res.IndirectChained)
 	reg.Counter("adelie_engine_irqs_total").Add(res.IRQs)
 	reg.Counter("adelie_engine_irq_cycles_total").Add(res.IRQCycles)
 	return res, nil
@@ -451,10 +459,11 @@ func (e *Engine) traceRound(clk *Clock, laps []lap) {
 		// idle vCPU per round — the dominant traced-dd cost — and the
 		// gaps render more honestly in Perfetto anyway.
 		if laps[l].blocks != 0 || laps[l].busy != 0 {
-			args := lane.ArgBuf(3)
+			args := lane.ArgBuf(4)
 			args[0] = obs.ArgU("blocks", laps[l].blocks)
 			args[1] = obs.ArgU("chained", laps[l].chained)
-			args[2] = obs.ArgU("busy_cycles", laps[l].busy)
+			args[2] = obs.ArgU("indirect", laps[l].indirect)
+			args[3] = obs.ArgU("busy_cycles", laps[l].busy)
 			lane.Emit(obs.Event{
 				Clk: now, Track: l, Kind: obs.KindRound, Name: "round", Args: args,
 			})
@@ -645,7 +654,9 @@ func (e *Engine) runOne(l int, op OpFunc) lap {
 	before := c.Cycles
 	beforeBlocks := c.Blocks
 	beforeChained := c.ChainedBlocks
+	beforeIndirect := c.IndirectChained
 	wait, err := op(c)
 	return lap{busy: c.Cycles - before, wait: wait,
-		blocks: c.Blocks - beforeBlocks, chained: c.ChainedBlocks - beforeChained, err: err}
+		blocks: c.Blocks - beforeBlocks, chained: c.ChainedBlocks - beforeChained,
+		indirect: c.IndirectChained - beforeIndirect, err: err}
 }

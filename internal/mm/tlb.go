@@ -106,6 +106,62 @@ func (t *TLB) Entry(va uint64, access Access) (Entry, bool, error) {
 	return e, false, nil
 }
 
+// LoadPage is the word-granularity resident load probe: one L1 lookup
+// plus MMIO and straddle screening, sized to stay under the compiler's
+// inlining budget so the CPU's block execute loop pays no call per
+// access. On success it returns the page's backing bytes (the caller
+// reads the word at va&PageMask) and counts exactly the hit Entry's
+// L1 path would. It declines (nil, false, nothing counted) whenever the
+// access needs the full path — L1 miss, MMIO page, or a page-straddling
+// offset — and the caller then falls back to Entry, which performs
+// identical accounting: hit/miss counts, charged cycles and fault
+// shapes cannot diverge between probed and unprobed execution. Reads
+// never permission-fault on a mapped page (checkPerm has no read case),
+// so no permission error can arise here.
+//
+// Callers may use the probe only when they can guarantee the
+// address-space generation has not changed since their last full Entry
+// call on this TLB (the CPU's block execute loop qualifies: no native,
+// actor or IRQ runs between block boundaries) — it skips the generation
+// re-check Entry performs.
+func (t *TLB) LoadPage(va uint64) ([]byte, bool) {
+	s := &t.l1[(va>>PageShift)&(l1Sets-1)]
+	if s.tag != va&^PageMask|1 || va&PageMask > PageSize-8 {
+		return nil, false
+	}
+	fd := s.e.fd
+	if fd == nil {
+		if s.e.slot == nil {
+			return nil, false // MMIO page: only fd and slot are ever nil
+		}
+		fd = s.e.slot.load()
+	}
+	t.hits++
+	return fd.data[:], true
+}
+
+// StorePage is LoadPage's store twin, with the same decline-to-Entry
+// accounting contract and generation precondition. Beyond LoadPage's
+// screens it declines on read-only pages (the fallback Entry call
+// reproduces the permission fault verbatim), on copy-on-write frames
+// (the fallback's WritableBytes performs the detach), and on
+// exec-mapped frames (the fallback's NoteWrite bumps the content
+// version that invalidates decoded code) — each a correctness handoff,
+// not an approximation, and each keeps the probe inlinable. The caller
+// writes the word at va&PageMask into the returned bytes.
+func (t *TLB) StorePage(va uint64) ([]byte, bool) {
+	s := &t.l1[(va>>PageShift)&(l1Sets-1)]
+	if s.tag != va&^PageMask|1 || s.e.Flags&FlagWrite == 0 || va&PageMask > PageSize-8 {
+		return nil, false
+	}
+	fd := s.e.fd
+	if fd == nil || fd.exec.Load() {
+		return nil, false // MMIO, COW-shared, or exec-mapped: the full path
+	}
+	t.hits++
+	return fd.data[:], true
+}
+
 // Translate resolves va for the given access kind, returning the frame
 // and flags (compatibility form of Entry).
 func (t *TLB) Translate(va uint64, access Access) (FrameID, PageFlags, bool, error) {

@@ -122,3 +122,120 @@ func TestTLBFrontCacheInvalidatedByEviction(t *testing.T) {
 		t.Fatal("front cache served an evicted translation")
 	}
 }
+
+// TestWordProbeRequiresResidency: the inlinable word probes serve only
+// L1-resident translations and count exactly one hit per successful
+// probe — never on a decline.
+func TestWordProbeRequiresResidency(t *testing.T) {
+	tlb, base := tlbFixture(t, 2, 4)
+	if _, ok := tlb.LoadPage(base); ok {
+		t.Fatal("LoadPage hit a translation that was never loaded")
+	}
+	if _, ok := tlb.StorePage(base); ok {
+		t.Fatal("StorePage hit a translation that was never loaded")
+	}
+	if hits, _, _ := tlb.Stats(); hits != 0 {
+		t.Fatalf("declined probes counted %d hits", hits)
+	}
+	if _, _, err := tlb.Entry(base, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	hits0, _, _ := tlb.Stats()
+	if _, ok := tlb.LoadPage(base); !ok {
+		t.Fatal("LoadPage declined a resident translation")
+	}
+	if _, ok := tlb.StorePage(base); !ok {
+		t.Fatal("StorePage declined a resident writable translation")
+	}
+	if hits, _, _ := tlb.Stats(); hits != hits0+2 {
+		t.Fatalf("probe hits %d → %d, want exactly +2", hits0, hits)
+	}
+}
+
+// TestWordProbeDeclinesSpecialCases: straddling offsets, read-only
+// stores and exec-mapped stores must decline (nothing counted) so the
+// full Entry path keeps sole ownership of fault shapes, the content
+// version bump, and accounting.
+func TestWordProbeDeclinesSpecialCases(t *testing.T) {
+	as := NewAddressSpace(NewPhysMem())
+	base := KernelBase + 0x400000
+	if _, err := as.MapRegion(base, 1, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	roBase := base + PageSize
+	if _, err := as.MapRegion(roBase, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// W^X holds per mapping, so the exec-marked-but-writable case needs
+	// an alias: map the frame executable at one VA (which exec-marks the
+	// frame itself), then map the same frame writable at another.
+	execBase := base + 2*PageSize
+	if _, err := as.MapRegion(execBase, 1, FlagExec); err != nil {
+		t.Fatal(err)
+	}
+	frame, _, ok := as.Lookup(execBase)
+	if !ok {
+		t.Fatal("Lookup(execBase) failed")
+	}
+	aliasBase := base + 3*PageSize
+	if err := as.Map(aliasBase, frame, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	tlb := NewTLB(as)
+	for _, va := range []uint64{base, roBase, execBase, aliasBase} {
+		if _, _, err := tlb.Entry(va, AccessRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits0, _, _ := tlb.Stats()
+	if _, ok := tlb.LoadPage(base + PageSize - 4); ok {
+		t.Fatal("LoadPage served a page-straddling word")
+	}
+	if _, ok := tlb.StorePage(base + PageSize - 4); ok {
+		t.Fatal("StorePage served a page-straddling word")
+	}
+	if _, ok := tlb.StorePage(roBase); ok {
+		t.Fatal("StorePage served a read-only page")
+	}
+	if _, ok := tlb.StorePage(aliasBase); ok {
+		t.Fatal("StorePage served a writable alias of an exec-marked frame (version bump skipped)")
+	}
+	if hits, _, _ := tlb.Stats(); hits != hits0 {
+		t.Fatalf("declined probes counted hits: %d → %d", hits0, hits)
+	}
+	// An exec-page load is fine — only stores need the version bump.
+	if _, ok := tlb.LoadPage(execBase); !ok {
+		t.Fatal("LoadPage declined a resident exec page")
+	}
+}
+
+// TestWordProbeDeclinesCOW: in a forked (copy-on-write) address space
+// the store probe must decline — only the full path's WritableBytes
+// performs the private-copy detach — while the load probe keeps working
+// through the slot indirection.
+func TestWordProbeDeclinesCOW(t *testing.T) {
+	phys := NewPhysMem()
+	as := NewAddressSpace(phys)
+	base := KernelBase + 0x400000
+	if _, err := as.MapRegion(base, 1, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(base, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	fork := as.Fork(phys.Fork())
+	tlb := NewTLB(fork)
+	if _, _, err := tlb.Entry(base, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tlb.StorePage(base); ok {
+		t.Fatal("StorePage wrote through a COW-shared frame without detaching")
+	}
+	b, ok := tlb.LoadPage(base)
+	if !ok {
+		t.Fatal("LoadPage declined a resident COW translation")
+	}
+	if b[0] != 1 || b[7] != 8 {
+		t.Fatalf("LoadPage returned wrong bytes: % x", b[:8])
+	}
+}

@@ -326,7 +326,9 @@ func (m *Machine) Engine() *engine.Engine {
 // retire whole decoded basic blocks per round slot (superblock
 // execution, reported in RunResult.Blocks), chained block→block along
 // hot traces without returning to the dispatch loop (trace linking,
-// reported in RunResult.ChainedBlocks); per-block costs are replayed
+// reported in RunResult.ChainedBlocks — direct links and the monomorphic
+// indirect target cache alike, the latter also broken out in
+// RunResult.IndirectChained); per-block costs are replayed
 // into the closed-queueing model unchanged. See engine.Engine.Run for
 // the execution and queueing model and internal/cpu's superblock.go for
 // the link-invalidation contract.

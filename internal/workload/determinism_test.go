@@ -87,6 +87,40 @@ func TestRegistryChainedUnchainedEquivalent(t *testing.T) {
 	}
 }
 
+// TestRegistryIndirectOffEquivalent is the middle column of the
+// three-mode matrix: every registered experiment must produce a
+// bit-identical Table with the monomorphic indirect target cache
+// disabled (cpu.SetIndirect / ADELIE_NOINDIRECT=1) while direct links
+// stay on. Same TLB-resident working-set argument as the chained/
+// unchained contract above.
+func TestRegistryIndirectOffEquivalent(t *testing.T) {
+	for _, e := range Experiments.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			run := func() *Table {
+				p := e.Params(true)
+				for k, v := range determinismOverrides[e.Name] {
+					if err := p.Set(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tab, err := e.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tab
+			}
+			full := run()
+			was := cpu.SetIndirect(false)
+			t.Cleanup(func() { cpu.SetIndirect(was) }) // restore even when run() t.Fatals
+			directOnly := run()
+			if !reflect.DeepEqual(full, directOnly) {
+				t.Errorf("full and direct-only tables differ:\n%+v\n%+v", full, directOnly)
+			}
+		})
+	}
+}
+
 // determinismOverrides shrinks each experiment's work below even its
 // -quick scale so the registry-wide rerun test stays fast; the values
 // mirror the op counts the old per-figure determinism tests used.
@@ -214,6 +248,7 @@ func TestISRDeliveryUnaffectedByChaining(t *testing.T) {
 			resC.ChainedBlocks, resU.ChainedBlocks)
 	}
 	resC.ChainedBlocks, resU.ChainedBlocks = 0, 0
+	resC.IndirectChained, resU.IndirectChained = 0, 0
 	if rowC != rowU || !reflect.DeepEqual(resC, resU) {
 		t.Fatalf("coalescing outcome differs across modes:\n%+v %+v\n%+v %+v", rowC, resC, rowU, resU)
 	}

@@ -127,15 +127,17 @@ var expFig5a = &Experiment{
 // ---------------------------------------------------------------------------
 // Fig. 5b — dd buffer-cache read microbenchmark.
 
-// DDRow is one point of Fig. 5b. Blocks/ChainedBlocks report the
-// interpreter's superblock counters for the run (selfbench's chain-rate
-// metric); they ride along and are not part of the rendered figure.
+// DDRow is one point of Fig. 5b. Blocks/ChainedBlocks/IndirectChained
+// report the interpreter's superblock counters for the run (selfbench's
+// chain-rate metrics); they ride along and are not part of the rendered
+// figure.
 type DDRow struct {
-	Config        Config
-	BlockKB       int
-	MBps          float64
-	Blocks        uint64
-	ChainedBlocks uint64
+	Config          Config
+	BlockKB         int
+	MBps            float64
+	Blocks          uint64
+	ChainedBlocks   uint64
+	IndirectChained uint64
 }
 
 // DDBlockSizesKB is the sweep of Fig. 5b.
@@ -187,7 +189,8 @@ func dd(seed int64, cfg Config, blockKB, ops int) (DDRow, error) {
 		return DDRow{}, err
 	}
 	return DDRow{Config: cfg, BlockKB: blockKB, MBps: res.MBPerSec,
-		Blocks: res.Blocks, ChainedBlocks: res.ChainedBlocks}, nil
+		Blocks: res.Blocks, ChainedBlocks: res.ChainedBlocks,
+		IndirectChained: res.IndirectChained}, nil
 }
 
 // DDSweep runs the full Fig. 5b grid.
